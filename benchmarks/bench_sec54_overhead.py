@@ -1,0 +1,93 @@
+"""Section 5.4: runtime overhead of provenance maintenance.
+
+The paper stress-tests the controller Cbench-style and reports a 4.2% latency
+increase and a 9.8% throughput reduction from maintaining provenance, plus a
+packet-log storage rate of 11-20 MB/s per switch (120 bytes per packet).
+
+The reproduction streams PacketIn events through the NDlog controller with
+event/derivation recording enabled and disabled, and measures per-packet
+latency, throughput and the log storage rate.  The shape to reproduce is that
+the overhead is a modest fraction (not multiples) of the baseline and the
+storage accounting follows the 120-byte entry size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenarios.q1_copy_paste import build_q1
+from repro.sdn.controller import PacketInEvent
+from repro.sdn.log import HistoricalLog, LOG_ENTRY_BYTES
+from repro.sdn.packets import Packet
+
+from conftest import run_once
+
+
+def _packet_in_stream(count: int):
+    packets = []
+    for index in range(count):
+        packets.append(PacketInEvent(
+            switch_id=1 + (index % 4),
+            packet=Packet(src_ip=101 + (index % 12), dst_ip=99,
+                          src_port=40000 + index % 50, dst_port=80),
+            in_port=10 + (index % 4)))
+    return packets
+
+
+def _measure_controller(record_events: bool, events) -> dict:
+    scenario = build_q1()
+    controller = scenario.build_controller(record_events=record_events)
+    started = time.perf_counter()
+    for event in events:
+        controller.handle_packet_in(event)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "latency_us": 1e6 * elapsed / len(events),
+        "throughput_pps": len(events) / elapsed if elapsed else float("inf"),
+    }
+
+
+def test_sec54_latency_and_throughput_overhead(benchmark):
+    events = _packet_in_stream(400)
+
+    def measure():
+        without = _measure_controller(record_events=False, events=events)
+        with_provenance = _measure_controller(record_events=True, events=events)
+        return without, with_provenance
+
+    without, with_provenance = run_once(benchmark, measure)
+    latency_increase = (with_provenance["latency_us"] / without["latency_us"]) - 1
+    throughput_drop = 1 - (with_provenance["throughput_pps"]
+                           / without["throughput_pps"])
+    print("\nSection 5.4 overhead (paper: +4.2% latency, -9.8% throughput):")
+    print(f"  latency    without provenance: {without['latency_us']:.1f} us/packet")
+    print(f"  latency    with    provenance: {with_provenance['latency_us']:.1f} us/packet"
+          f"  ({latency_increase:+.1%})")
+    print(f"  throughput without provenance: {without['throughput_pps']:.0f} pps")
+    print(f"  throughput with    provenance: {with_provenance['throughput_pps']:.0f} pps"
+          f"  ({-throughput_drop:+.1%})")
+    # Maintaining provenance costs something but stays a modest overhead
+    # (well under 2x), matching the single-digit-percent shape of the paper.
+    assert with_provenance["latency_us"] >= without["latency_us"] * 0.9
+    assert latency_increase < 1.0
+
+
+def test_sec54_storage_overhead(benchmark):
+    events = _packet_in_stream(1000)
+
+    def measure():
+        log = HistoricalLog()
+        for event in events:
+            log.record_packet(event.switch_id, event.packet, event.in_port)
+        return log
+
+    log = run_once(benchmark, measure)
+    per_packet = log.storage_bytes() / len(log)
+    rate = log.logging_rate_mb_per_second(duration_seconds=0.05)
+    print(f"\nSection 5.4 storage: {per_packet:.0f} bytes/packet "
+          f"(paper: {LOG_ENTRY_BYTES}), {rate:.1f} MB/s at 20k pps")
+    assert per_packet == LOG_ENTRY_BYTES
+    assert log.storage_bytes() == LOG_ENTRY_BYTES * 1000

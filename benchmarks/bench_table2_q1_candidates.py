@@ -1,0 +1,50 @@
+"""Table 2: the Q1 candidate list with KS statistics and accept/reject verdicts.
+
+The paper's Table 2 lists nine candidates for Q1; the accepted ones are the
+manual flow-entry installation (A) and the constant fix ``Swi==2 -> Swi==3``
+(B), while the operator changes and predicate deletions are rejected because
+they distort unrelated traffic.  The benchmark regenerates the table and
+checks those acceptance relationships.
+"""
+
+from __future__ import annotations
+
+from repro.backtest import format_table
+from repro.repair import ChangeConstant, ChangeOperator, DeleteSelection, InsertTuple
+
+from conftest import run_once
+
+
+def _has_edit(result, edit_type, **attrs):
+    return any(isinstance(edit, edit_type)
+               and all(getattr(edit, key) == value for key, value in attrs.items())
+               for edit in result.candidate.edits)
+
+
+def test_table2_q1_candidates(benchmark, diagnosis_cache):
+    report = run_once(benchmark, diagnosis_cache, "Q1", max_candidates=14)
+    results = report.backtest.results
+    print("\nTable 2 (Q1 candidates, KS statistic, verdict):")
+    print(format_table(results))
+
+    constant_fix = [r for r in results
+                    if _has_edit(r, ChangeConstant, rule="r7", new_value=3)
+                    and len(r.candidate.edits) == 1]
+    manual = [r for r in results if _has_edit(r, InsertTuple)
+              and len(r.candidate.edits) == 1]
+    operator_changes = [r for r in results
+                        if _has_edit(r, ChangeOperator, rule="r7")
+                        and len(r.candidate.edits) == 1]
+    deletions = [r for r in results if _has_edit(r, DeleteSelection, rule="r7")
+                 and len(r.candidate.edits) == 1]
+
+    # Candidate B (the intuitive fix) and candidate A (manual flow entry)
+    # must be accepted; the over-general r7 rewrites must be rejected.
+    assert constant_fix and all(r.accepted for r in constant_fix)
+    assert manual and all(r.accepted for r in manual)
+    assert operator_changes and all(not r.accepted for r in operator_changes)
+    assert deletions and all(not r.accepted for r in deletions)
+    # Accepted candidates cause (weakly) less distortion than rejected ones.
+    accepted_ks = max(r.ks.statistic for r in results if r.accepted)
+    rejected_ks = max(r.ks.statistic for r in results if not r.accepted)
+    assert accepted_ks <= rejected_ks

@@ -1,0 +1,64 @@
+"""Table 6 (a-d): candidate lists, KS statistics and verdicts for Q2-Q5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backtest import format_table
+from repro.repair import ChangeAssignment, ChangeConstant, InsertTuple
+
+from conftest import run_once
+
+
+EXPECTED_ACCEPTED_FIX = {
+    # scenario -> (edit type, attributes of the reference repair)
+    "Q2": (ChangeConstant, {"rule": "q2c", "new_value": 7}),
+    "Q3": (ChangeConstant, {"rule": "q3fw", "new_value": 2}),
+    "Q5": (ChangeAssignment, {"rule": "f1", "var": "Hip"}),
+}
+
+
+def _has_edit(result, edit_type, **attrs):
+    return any(isinstance(edit, edit_type)
+               and all(getattr(edit, key) == value for key, value in attrs.items())
+               for edit in result.candidate.edits)
+
+
+@pytest.mark.parametrize("name", ["Q2", "Q3", "Q4", "Q5"])
+def test_table6_candidate_lists(benchmark, diagnosis_cache, name):
+    report = run_once(benchmark, diagnosis_cache, name, max_candidates=14)
+    results = report.backtest.results
+    print(f"\nTable 6, scenario {name}:")
+    print(format_table(results))
+    accepted = [r for r in results if r.accepted]
+    assert results, "candidates must be generated"
+    assert accepted, "at least one repair must survive backtesting"
+    if name in EXPECTED_ACCEPTED_FIX:
+        edit_type, attrs = EXPECTED_ACCEPTED_FIX[name]
+        reference = [r for r in results if _has_edit(r, edit_type, **attrs)]
+        assert reference, f"the reference repair for {name} must be generated"
+        assert any(r.accepted for r in reference), \
+            f"the reference repair for {name} must pass backtesting"
+
+
+def test_table6_overly_general_repairs_rejected(diagnosis_cache, benchmark):
+    """The candidates that admit blocked traffic (Q2 scanner, Q3 blocked
+    source) must be rejected by the KS test."""
+
+    def collect():
+        return {name: diagnosis_cache(name, max_candidates=14)
+                for name in ("Q2", "Q3")}
+
+    reports = run_once(benchmark, collect)
+    q2 = reports["Q2"].backtest.results
+    q3 = reports["Q3"].backtest.results
+    q2_delete = [r for r in q2
+                 if any(e.kind == "delete_selection" and e.rule == "q2c"
+                        for e in r.candidate.edits) and len(r.candidate.edits) == 1]
+    q3_delete = [r for r in q3
+                 if any(e.kind == "delete_selection" and e.rule == "q3fw"
+                        for e in r.candidate.edits) and len(r.candidate.edits) == 1]
+    print(f"\nQ2 'delete Sip < 6' rejected: {[not r.accepted for r in q2_delete]}")
+    print(f"Q3 'delete Sip > 3' rejected: {[not r.accepted for r in q3_delete]}")
+    assert q2_delete and all(not r.accepted for r in q2_delete)
+    assert q3_delete and all(not r.accepted for r in q3_delete)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Scenario Q5: repairing a broken learning switch.
+
+The learning rule stores a wildcard instead of the packet's source address,
+so the controller never learns where H2 lives and traffic towards it is
+dropped.  The accepted repair changes the assignment ``Hip := *`` back to
+``Hip := Sip`` — the same fix the paper's Table 6d highlights.
+
+Run with::
+
+    python examples/mac_learning_repair.py
+"""
+
+from repro.backtest import format_table
+from repro.debugger import MetaProvenanceDebugger
+from repro.repair import apply_candidate
+from repro.scenarios import build_q5
+
+
+def main():
+    scenario = build_q5()
+    print("Buggy learning-switch program:")
+    print(scenario.program.to_ndlog())
+    print(f"Symptom: {scenario.symptom.description}\n")
+
+    report = MetaProvenanceDebugger(scenario, max_candidates=10).diagnose()
+    print(format_table(report.backtest.results))
+    print()
+
+    best = report.suggestions()[0].candidate
+    repaired = apply_candidate(scenario.program, best)
+    print(f"Chosen repair: {best.description}\n")
+    print("Repaired program:")
+    print(repaired.program.to_ndlog())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of "Automated Bug Removal for Software-Defined
+Networks" (Wu, Chen, Haeberlen, Zhou, Loo -- NSDI 2017).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.ndlog` -- an NDlog/uDlog engine (the declarative controller
+  substrate).
+* :mod:`repro.provenance` -- classical positive/negative network provenance.
+* :mod:`repro.meta` -- meta provenance: provenance over programs as well as
+  data, cost-ordered exploration and constraint pools.
+* :mod:`repro.solver` -- the mini constraint solver (Z3 substitute).
+* :mod:`repro.repair` -- repair candidates, application and generation.
+* :mod:`repro.backtest` -- replay-based backtesting with KS acceptance and
+  multi-query optimization.
+* :mod:`repro.sdn` -- a simulated SDN (switches, flow tables, topologies,
+  traffic, historical logs): the Mininet substitute.
+* :mod:`repro.controllers` -- NDlog, imperative ("RubyFlow"/Trema) and policy
+  DSL (Pyretic) controller front ends with their meta models.
+* :mod:`repro.scenarios` -- the five case studies Q1-Q5 of the evaluation.
+* :mod:`repro.debugger` -- the end-to-end debugger
+  (:class:`~repro.debugger.MetaProvenanceDebugger`).
+
+Quickstart::
+
+    from repro.scenarios import build_q1
+    from repro.debugger import MetaProvenanceDebugger
+
+    scenario = build_q1()
+    report = MetaProvenanceDebugger(scenario).diagnose()
+    print(report.summary())
+"""
+
+from .debugger import DiagnosisReport, MetaProvenanceDebugger, PhaseTimings
+
+__version__ = "1.0.0"
+
+__all__ = ["DiagnosisReport", "MetaProvenanceDebugger", "PhaseTimings",
+           "__version__"]

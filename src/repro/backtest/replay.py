@@ -1,0 +1,159 @@
+"""Backtesting repair candidates by replaying historical traffic.
+
+The :class:`Backtester` runs the *original* (buggy) program over the recorded
+trace once to obtain the baseline traffic distribution, then replays the same
+trace against each repaired program.  A candidate is
+
+* **effective** if it fixes the symptom (the scenario's effectiveness
+  predicate holds, e.g. "the backup web server receives at least some HTTP
+  traffic"), and
+* **accepted** if it is effective *and* does not significantly distort the
+  traffic distribution of unrelated flows (two-sample KS test, Section 5.3).
+
+Scenarios (see :mod:`repro.scenarios.base`) provide the environment: a fresh
+topology, a controller factory for an arbitrary program, the recorded trace
+and the effectiveness predicate.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ndlog.ast import Program
+from ..repair.apply import RepairedProgram, apply_candidate
+from ..repair.candidates import RepairCandidate
+from ..sdn.network import NetworkSimulator, TrafficStats
+from .metrics import KSResult, compare_traffic
+
+
+@dataclass
+class BacktestResult:
+    """Outcome of backtesting a single repair candidate."""
+
+    candidate: RepairCandidate
+    stats: TrafficStats
+    ks: KSResult
+    effective: bool
+    accepted: bool
+    elapsed_seconds: float = 0.0
+    notes: Tuple[str, ...] = ()
+
+    def summary_row(self) -> Tuple[str, str, float, str]:
+        verdict = "accepted" if self.accepted else "rejected"
+        return (self.candidate.tag, self.candidate.description,
+                self.ks.statistic, verdict)
+
+    def __str__(self):
+        verdict = "3" if self.accepted else "5"
+        return (f"{self.candidate.description} ({verdict})  "
+                f"KS={self.ks.statistic:.5f}")
+
+
+@dataclass
+class BacktestReport:
+    """Results for a whole candidate list."""
+
+    baseline: TrafficStats
+    results: List[BacktestResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def accepted(self) -> List[BacktestResult]:
+        return [r for r in self.results if r.accepted]
+
+    def effective(self) -> List[BacktestResult]:
+        return [r for r in self.results if r.effective]
+
+    def counts(self) -> Tuple[int, int]:
+        """(candidates generated, candidates surviving backtest) — Table 1."""
+        return len(self.results), len(self.accepted())
+
+
+class Backtester:
+    """Sequentially backtests repair candidates against a scenario."""
+
+    def __init__(self, scenario, ks_threshold: float = 0.05,
+                 alpha: float = 0.05, use_significance: bool = False,
+                 trace_limit: Optional[int] = None,
+                 max_packet_in_growth: Optional[float] = None):
+        self.scenario = scenario
+        self.ks_threshold = ks_threshold
+        self.alpha = alpha
+        self.use_significance = use_significance
+        self.trace_limit = trace_limit
+        #: Optional extra side-effect metric: reject repairs that multiply the
+        #: controller's PacketIn load by more than this factor (the paper
+        #: rejects some Q4 candidates for "significant increases of controller
+        #: traffic").
+        self.max_packet_in_growth = max_packet_in_growth
+        self._baseline: Optional[TrafficStats] = None
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def _trace(self):
+        trace = self.scenario.trace()
+        if self.trace_limit is not None:
+            return trace[: self.trace_limit]
+        return trace
+
+    def run_program(self, program: Optional[Program] = None,
+                    extra_tuples: Sequence = (),
+                    removed_tuples: Sequence = ()) -> TrafficStats:
+        """Replay the trace under a program; return its traffic statistics."""
+        topology = self.scenario.build_topology()
+        controller = self.scenario.build_controller(
+            program=program, extra_tuples=extra_tuples,
+            removed_tuples=removed_tuples)
+        simulator = NetworkSimulator(
+            topology, controller,
+            require_packet_out=self.scenario.require_packet_out,
+            record_ingress=False)
+        simulator.run_trace(self._trace())
+        return simulator.stats
+
+    def baseline(self) -> TrafficStats:
+        """Traffic distribution of the original (buggy) program."""
+        if self._baseline is None:
+            self._baseline = self.run_program(None)
+        return self._baseline
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, candidate: RepairCandidate) -> BacktestResult:
+        started = _time.perf_counter()
+        repaired = apply_candidate(self.scenario.program, candidate)
+        stats = self.run_program(repaired.program,
+                                 extra_tuples=repaired.inserted_tuples,
+                                 removed_tuples=repaired.removed_tuples)
+        ks = compare_traffic(self.baseline(), stats)
+        effective = bool(self.scenario.is_effective(stats))
+        accepted = effective and not self._distorts(ks) \
+            and not self._overloads_controller(stats)
+        elapsed = _time.perf_counter() - started
+        return BacktestResult(candidate=candidate, stats=stats, ks=ks,
+                              effective=effective, accepted=accepted,
+                              elapsed_seconds=elapsed, notes=candidate.notes)
+
+    def _overloads_controller(self, stats: TrafficStats) -> bool:
+        if self.max_packet_in_growth is None:
+            return False
+        baseline_load = max(1, self.baseline().packet_in_count)
+        return stats.packet_in_count > baseline_load * self.max_packet_in_growth
+
+    def _distorts(self, ks: KSResult) -> bool:
+        if self.use_significance:
+            return ks.significant(self.alpha)
+        return ks.statistic > self.ks_threshold
+
+    def evaluate_all(self, candidates: Sequence[RepairCandidate]) -> BacktestReport:
+        started = _time.perf_counter()
+        report = BacktestReport(baseline=self.baseline())
+        for candidate in candidates:
+            report.results.append(self.evaluate(candidate))
+        report.elapsed_seconds = _time.perf_counter() - started
+        return report

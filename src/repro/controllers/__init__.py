@@ -1,0 +1,70 @@
+"""Controller applications for the three languages covered by the paper.
+
+* :mod:`repro.controllers.ndlog_controller` — the declarative (RapidNet/NDlog)
+  controller, the primary target of meta provenance.
+* :mod:`repro.controllers.imperative` — "RubyFlow", the Trema/Ruby substitute.
+* :mod:`repro.controllers.policy` — the NetCore-style policy DSL, the Pyretic
+  substitute.
+"""
+
+from .imperative import (
+    Assign,
+    BinExpr,
+    Env,
+    FieldRef,
+    Handler,
+    HashGet,
+    HashHas,
+    HashPut,
+    If,
+    ImperativeController,
+    ImperativeDeliveryGoal,
+    ImperativeRepair,
+    ImperativeRepairer,
+    InstallFlow,
+    Lit,
+    SendPacketOut,
+    VarRef,
+)
+from .ndlog_controller import (
+    FIELD_MAPPINGS,
+    FIGURE2_MAPPING,
+    FIVE_TUPLE_MAPPING,
+    FieldMapping,
+    IN_PORT_FIELD,
+    NDlogController,
+)
+from .policy import (
+    Drop,
+    Flood,
+    Fwd,
+    LocatedPacket,
+    Match,
+    Mod,
+    Parallel,
+    Policy,
+    PolicyController,
+    PolicyDeliveryGoal,
+    PolicyRepair,
+    PolicyRepairer,
+    Restrict,
+    Sequential,
+    drop,
+    flood,
+    fwd,
+    match,
+    modify,
+)
+
+__all__ = [
+    "Assign", "BinExpr", "Env", "FieldRef", "Handler", "HashGet", "HashHas",
+    "HashPut", "If", "ImperativeController", "ImperativeDeliveryGoal",
+    "ImperativeRepair", "ImperativeRepairer", "InstallFlow", "Lit",
+    "SendPacketOut", "VarRef",
+    "FIELD_MAPPINGS", "FIGURE2_MAPPING", "FIVE_TUPLE_MAPPING", "FieldMapping",
+    "IN_PORT_FIELD", "NDlogController",
+    "Drop", "Flood", "Fwd", "LocatedPacket", "Match", "Mod", "Parallel",
+    "Policy", "PolicyController", "PolicyDeliveryGoal", "PolicyRepair",
+    "PolicyRepairer", "Restrict", "Sequential", "drop", "flood", "fwd",
+    "match", "modify",
+]

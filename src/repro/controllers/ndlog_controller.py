@@ -1,0 +1,230 @@
+"""Declarative (NDlog) controller — the RapidNet substitute.
+
+The controller runs an NDlog program reactively: every ``PacketIn`` event is
+turned into a ``PacketIn`` tuple and inserted into the engine; tuples derived
+into the flow-entry table become ``FlowMod`` messages and tuples derived into
+the packet-out table become ``PacketOut`` messages, exactly like the paper's
+proxy "translates NDlog tuples into OpenFlow messages and vice versa".
+
+Because different scenarios use different packet headers, the mapping between
+packets and tuples is configurable through :class:`FieldMapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ndlog.ast import Program, WILDCARD
+from ..ndlog.engine import Engine
+from ..ndlog.tuples import NDTuple, TableSchema
+from ..sdn.controller import Controller, FlowMod, PacketInEvent, PacketOut
+from ..sdn.packets import Packet
+from ..sdn.switch import DROP_PORT, FlowEntry
+
+
+#: Name of the pseudo packet field carrying the ingress port.
+IN_PORT_FIELD = "in_port"
+
+CONTROLLER_NODE = "C"
+
+
+@dataclass(frozen=True)
+class FieldMapping:
+    """Mapping between packets and the controller program's tuples.
+
+    Attributes:
+        packet_in_fields: packet header fields (in order) that populate the
+            ``PacketIn`` tuple after the leading ``(@C, Swi)`` columns.
+        flow_entry_layout: names of the flow-entry table's columns after the
+            leading switch column.  Each is either a packet header field (a
+            match column) or the special name ``"out_port"`` (the action).
+        packet_in_table / flow_table / packet_out_table: table names.
+    """
+
+    packet_in_fields: Tuple[str, ...] = ("dst_port",)
+    flow_entry_layout: Tuple[str, ...] = ("dst_port", "out_port")
+    packet_in_table: str = "PacketIn"
+    flow_table: str = "FlowTable"
+    packet_out_table: str = "PacketOut"
+
+    def packet_in_tuple_from(self, switch_id: int, packet: Packet,
+                             in_port: Optional[int] = None) -> NDTuple:
+        header = dict(packet.header())
+        header[IN_PORT_FIELD] = in_port if in_port is not None else 0
+        values = [CONTROLLER_NODE, switch_id]
+        values.extend(header[name] for name in self.packet_in_fields)
+        return NDTuple(self.packet_in_table, tuple(values))
+
+    def packet_in_tuple(self, event: PacketInEvent) -> NDTuple:
+        header = dict(event.packet.header())
+        header[IN_PORT_FIELD] = event.in_port if event.in_port is not None else 0
+        values = [CONTROLLER_NODE, event.switch_id]
+        values.extend(header[name] for name in self.packet_in_fields)
+        return NDTuple(self.packet_in_table, tuple(values))
+
+    def flow_entry_from_tuple(self, tup: NDTuple, priority: int,
+                              tags: Tuple[str, ...] = ()) -> Optional[Tuple[int, FlowEntry]]:
+        """Translate a flow-entry tuple into (switch id, FlowEntry)."""
+        if tup.arity != len(self.flow_entry_layout) + 1:
+            return None
+        switch_id = tup.values[0]
+        match: Dict[str, object] = {}
+        out_port: Optional[int] = None
+        for column, name in enumerate(self.flow_entry_layout, start=1):
+            value = tup.values[column]
+            if name == "out_port":
+                out_port = value
+            elif value != WILDCARD:
+                match[name] = value
+        if out_port is None or not isinstance(switch_id, int):
+            return None
+        if not isinstance(out_port, int):
+            return None
+        entry = FlowEntry.create(match, out_port, priority=priority, tags=tags)
+        return switch_id, entry
+
+    def schemas(self) -> List[TableSchema]:
+        packet_in = TableSchema(
+            self.packet_in_table,
+            ("C", "Swi") + tuple(self.packet_in_fields),
+            persistent=False)
+        flow = TableSchema(
+            self.flow_table, ("Swi",) + tuple(self.flow_entry_layout))
+        # No schema is registered for the packet-out table: repairs may
+        # re-target rules with differently-shaped heads into it (Q4), and the
+        # controller only reads the first (switch) and last (port) columns.
+        return [packet_in, flow]
+
+
+#: The mapping used by the Figure 2 load-balancer program.
+FIGURE2_MAPPING = FieldMapping(
+    packet_in_fields=("dst_port",),
+    flow_entry_layout=("dst_port", "out_port"))
+
+#: A five-tuple mapping used by the richer scenarios (Q2-Q5).
+FIVE_TUPLE_MAPPING = FieldMapping(
+    packet_in_fields=("src_ip", "dst_ip", "src_port", "dst_port", IN_PORT_FIELD,
+                      "src_mac", "dst_mac"),
+    flow_entry_layout=("src_ip", "dst_ip", "src_port", "dst_port", "out_port"))
+
+#: Registry of the named mappings (used by tests and scenario definitions).
+FIELD_MAPPINGS = {
+    "figure2": FIGURE2_MAPPING,
+    "five_tuple": FIVE_TUPLE_MAPPING,
+}
+
+
+class NDlogController(Controller):
+    """Runs an NDlog program as a reactive SDN controller application."""
+
+    name = "ndlog"
+
+    def __init__(self, program: Program,
+                 mapping: FieldMapping = FIGURE2_MAPPING,
+                 static_tuples: Sequence[NDTuple] = (),
+                 extra_schemas: Sequence[TableSchema] = (),
+                 auto_packet_out: bool = True,
+                 priority: int = 10,
+                 tags: Tuple[str, ...] = (),
+                 record_events: bool = True):
+        self.program = program
+        self.mapping = mapping
+        self.static_tuples = list(static_tuples)
+        self.extra_schemas = list(extra_schemas)
+        self.auto_packet_out = auto_packet_out
+        self.priority = priority
+        self.tags = tags
+        self.record_events = record_events
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle
+    # ------------------------------------------------------------------
+
+    def _build_engine(self) -> Engine:
+        engine = Engine(self.program, record_events=self.record_events)
+        for schema in self.mapping.schemas():
+            engine.register_schema(schema)
+        for schema in self.extra_schemas:
+            engine.register_schema(schema)
+        if self.static_tuples:
+            engine.insert_many(list(self.static_tuples))
+        return engine
+
+    def reset(self):
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+
+    def on_start(self, network) -> List[object]:
+        """Install flow entries for any flow tuples already in the engine.
+
+        This is how "manually installed" flow entries (the InsertTuple repair
+        of Table 2 candidate A) reach the switches: they are passed to the
+        controller as static tuples and pushed proactively here.
+        """
+        messages: List[object] = []
+        for tup in self.engine.tuples(self.mapping.flow_table):
+            translated = self.mapping.flow_entry_from_tuple(
+                tup, self.priority, self.tags)
+            if translated is not None:
+                switch_id, entry = translated
+                messages.append(FlowMod(switch_id, entry))
+        return messages
+
+    def handle_packet_in(self, event: PacketInEvent) -> List[object]:
+        packet_in = self.mapping.packet_in_tuple(event)
+        derived = self.engine.insert(packet_in)
+        messages: List[object] = []
+        packet_out_for_switch = False
+        matched_ports: List[int] = []
+        for tup in derived:
+            if tup.table == self.mapping.flow_table:
+                translated = self.mapping.flow_entry_from_tuple(
+                    tup, self.priority, self.tags)
+                if translated is None:
+                    continue
+                switch_id, entry = translated
+                messages.append(FlowMod(switch_id, entry))
+                if switch_id == event.switch_id and entry.matches(event.packet,
+                                                                  event.in_port):
+                    matched_ports.append(entry.out_port)
+            elif tup.table == self.mapping.packet_out_table:
+                switch_id, port = tup.values[0], tup.values[-1]
+                if isinstance(switch_id, int) and isinstance(port, int):
+                    messages.append(PacketOut(switch_id, port, event.packet))
+                    if switch_id == event.switch_id:
+                        packet_out_for_switch = True
+        if self.auto_packet_out and not packet_out_for_switch:
+            forward_ports = [p for p in matched_ports if p != DROP_PORT]
+            if forward_ports:
+                messages.append(PacketOut(event.switch_id, forward_ports[0],
+                                          event.packet))
+        # Packet-out tuples are transient messages: drop them from the engine
+        # database so the next PacketIn can derive (and emit) them again.
+        for stale in list(self.engine.tuples(self.mapping.packet_out_table)):
+            self.engine.database.remove(stale)
+        return messages
+
+    # ------------------------------------------------------------------
+    # Introspection used by the debugger
+    # ------------------------------------------------------------------
+
+    def flow_table_tuples(self) -> List[NDTuple]:
+        return sorted(self.engine.tuples(self.mapping.flow_table),
+                      key=lambda t: t.values)
+
+    def history_tuples(self) -> List[NDTuple]:
+        """Base tuples observed by the controller (for the HistoryIndex)."""
+        from ..ndlog.events import INSERT
+
+        out = []
+        seen = set()
+        for event in self.engine.events:
+            if event.kind == INSERT and event.tuple not in seen:
+                seen.add(event.tuple)
+                out.append(event.tuple)
+        return out

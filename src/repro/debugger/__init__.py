@@ -1,0 +1,5 @@
+"""Top-level debugger API (symptom in, ranked repair suggestions out)."""
+
+from .debugger import DiagnosisReport, MetaProvenanceDebugger, PhaseTimings
+
+__all__ = ["DiagnosisReport", "MetaProvenanceDebugger", "PhaseTimings"]

@@ -1,0 +1,65 @@
+"""Meta provenance: provenance over programs as well as data.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.meta.metatuples` / :mod:`repro.meta.metaprogram` — the program
+  represented as data (Const, Oper, PredFunc, HeadFunc, Assign meta tuples).
+* :mod:`repro.meta.metarules` — the µDlog meta model of Figure 4.
+* :mod:`repro.meta.forest` — meta provenance trees and forests.
+* :mod:`repro.meta.constraints` — constraint pools (Section 3.4).
+* :mod:`repro.meta.costs` — the plausibility cost model (Section 3.5).
+* :mod:`repro.meta.explorer` — cost-ordered exploration and repair
+  candidate extraction (Figures 5 and 17).
+"""
+
+from .constraints import ConstraintPool
+from .costs import CostModel, DEFAULT_COSTS, uniform_cost_model
+from .explorer import (
+    ExistingTupleGoal,
+    ExplorationResult,
+    ExplorationStats,
+    MetaProvenanceExplorer,
+    MissingTupleGoal,
+)
+from .forest import EXIST, MetaForest, MetaTree, MetaVertex, NEXIST
+from .history import HistoryIndex
+from .metaprogram import MetaProgram
+from .metarules import (
+    MUDLOG_META_RULES_SOURCE,
+    MUDLOG_META_TUPLES,
+    NDLOG_META_MODEL_SIZE,
+    PYRETIC_META_MODEL_SIZE,
+    TREMA_META_MODEL_SIZE,
+    meta_model_summary,
+    meta_rule_names,
+    mudlog_meta_program,
+)
+from .metatuples import (
+    AssignMeta,
+    BaseMeta,
+    ConstMeta,
+    ExprMeta,
+    HeadFuncMeta,
+    HeadValMeta,
+    JoinMeta,
+    MetaLocation,
+    OperMeta,
+    PredFuncMeta,
+    SelMeta,
+    TupleMeta,
+    TuplePredMeta,
+)
+
+__all__ = [
+    "ConstraintPool", "CostModel", "DEFAULT_COSTS", "uniform_cost_model",
+    "ExistingTupleGoal", "ExplorationResult", "ExplorationStats",
+    "MetaProvenanceExplorer", "MissingTupleGoal",
+    "EXIST", "MetaForest", "MetaTree", "MetaVertex", "NEXIST",
+    "HistoryIndex", "MetaProgram",
+    "MUDLOG_META_RULES_SOURCE", "MUDLOG_META_TUPLES", "NDLOG_META_MODEL_SIZE",
+    "PYRETIC_META_MODEL_SIZE", "TREMA_META_MODEL_SIZE",
+    "meta_model_summary", "meta_rule_names", "mudlog_meta_program",
+    "AssignMeta", "BaseMeta", "ConstMeta", "ExprMeta", "HeadFuncMeta",
+    "HeadValMeta", "JoinMeta", "MetaLocation", "OperMeta", "PredFuncMeta",
+    "SelMeta", "TupleMeta", "TuplePredMeta",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the NDlog engine."""
+
+
+class NDlogError(Exception):
+    """Base class for all NDlog engine errors."""
+
+
+class ParseError(NDlogError):
+    """Raised when a program cannot be parsed.
+
+    Attributes:
+        message: human readable description of the problem.
+        line: 1-based line number where the error was detected (0 if unknown).
+        column: 1-based column number where the error was detected (0 if unknown).
+    """
+
+    def __init__(self, message, line=0, column=0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SchemaError(NDlogError):
+    """Raised when a tuple does not match its table schema."""
+
+
+class EvaluationError(NDlogError):
+    """Raised when rule evaluation fails (e.g. an unbound variable)."""
+
+
+class UnboundVariableError(EvaluationError):
+    """Raised when a rule references a variable that is never bound."""
+
+    def __init__(self, rule_name, variable):
+        self.rule_name = rule_name
+        self.variable = variable
+        super().__init__(
+            f"rule {rule_name!r} uses unbound variable {variable!r}"
+        )

@@ -1,0 +1,229 @@
+"""Tuples, table schemas and per-node databases for the NDlog engine.
+
+In NDlog the state of every node (switch, controller, server) is a set of
+tables containing tuples.  Tuples are either *base* tuples, inserted from the
+outside (configuration, packets arriving at border switches), or *derived*
+tuples computed by rules.  This module provides the storage layer; the
+evaluation logic lives in :mod:`repro.ndlog.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from .errors import SchemaError
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of an NDlog table.
+
+    Attributes:
+        name: table name.
+        fields: column names (the first column is conventionally the location).
+        primary_key: names of columns forming the primary key.  When a new
+            tuple shares its primary key with an existing one, the old tuple
+            is replaced (NDlog "update" semantics).  An empty primary key
+            means the whole tuple is the key (pure set semantics).
+        persistent: ``True`` for materialised state tables, ``False`` for
+            transient event tables (e.g. ``PacketIn``) which are consumed
+            after triggering derivations.
+        location_index: index of the location column.
+    """
+
+    name: str
+    fields: PyTuple[str, ...]
+    primary_key: PyTuple[str, ...] = ()
+    persistent: bool = True
+    location_index: int = 0
+
+    @property
+    def arity(self):
+        return len(self.fields)
+
+    def key_indexes(self):
+        """Column indexes of the primary key (all columns if no key given)."""
+        if not self.primary_key:
+            return tuple(range(len(self.fields)))
+        return tuple(self.fields.index(name) for name in self.primary_key)
+
+
+@dataclass(frozen=True)
+class NDTuple:
+    """An immutable NDlog tuple: a table name plus a vector of values.
+
+    The node on which the tuple resides is carried in the value at the
+    schema's location index (by convention index 0).
+    """
+
+    table: str
+    values: PyTuple
+
+    def __post_init__(self):
+        # Normalise lists into tuples so instances remain hashable.
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self):
+        return len(self.values)
+
+    def value(self, index):
+        return self.values[index]
+
+    def location(self, schema: Optional[TableSchema] = None):
+        index = schema.location_index if schema is not None else 0
+        if index >= len(self.values):
+            return None
+        return self.values[index]
+
+    def key(self, schema: Optional[TableSchema] = None):
+        """Primary-key projection used for update semantics."""
+        if schema is None or not schema.primary_key:
+            return self.values
+        return tuple(self.values[i] for i in schema.key_indexes())
+
+    def replace(self, index, value):
+        """Return a copy of the tuple with one value replaced."""
+        values = list(self.values)
+        values[index] = value
+        return NDTuple(self.table, tuple(values))
+
+    def __str__(self):
+        rendered = ", ".join(repr(v) if isinstance(v, str) else str(v) for v in self.values)
+        return f"{self.table}({rendered})"
+
+
+def make_tuple(table, *values):
+    """Convenience constructor mirroring NDlog surface syntax."""
+    return NDTuple(table, tuple(values))
+
+
+class Database:
+    """Multiset-free storage of tuples grouped by table.
+
+    The database distinguishes base tuples (inserted) from derived tuples
+    (computed by rules) so that provenance and repair code can tell them
+    apart.  Tuples are globally stored; location is just a value, matching
+    the simulator's "omniscient" view used for offline analysis.
+    """
+
+    def __init__(self, schemas: Optional[Dict[str, TableSchema]] = None):
+        self._schemas: Dict[str, TableSchema] = dict(schemas or {})
+        self._tables: Dict[str, Set[NDTuple]] = {}
+        self._base: Set[NDTuple] = set()
+        self._derived: Set[NDTuple] = set()
+
+    # -- schema management -------------------------------------------------
+
+    def register_schema(self, schema: TableSchema):
+        existing = self._schemas.get(schema.name)
+        if existing is not None and existing != schema:
+            raise SchemaError(
+                f"conflicting schema registration for table {schema.name!r}"
+            )
+        self._schemas[schema.name] = schema
+
+    def schema(self, table) -> Optional[TableSchema]:
+        return self._schemas.get(table)
+
+    def schemas(self) -> Dict[str, TableSchema]:
+        return dict(self._schemas)
+
+    # -- queries -----------------------------------------------------------
+
+    def tables(self):
+        return set(self._tables)
+
+    def tuples(self, table) -> Set[NDTuple]:
+        """Return the set of tuples currently stored for ``table``."""
+        return set(self._tables.get(table, ()))
+
+    def all_tuples(self) -> Iterator[NDTuple]:
+        for table_tuples in self._tables.values():
+            yield from table_tuples
+
+    def base_tuples(self) -> Set[NDTuple]:
+        return set(self._base)
+
+    def derived_tuples(self) -> Set[NDTuple]:
+        return set(self._derived)
+
+    def contains(self, tup: NDTuple) -> bool:
+        return tup in self._tables.get(tup.table, set())
+
+    def is_base(self, tup: NDTuple) -> bool:
+        return tup in self._base
+
+    def count(self, table=None) -> int:
+        if table is not None:
+            return len(self._tables.get(table, ()))
+        return sum(len(t) for t in self._tables.values())
+
+    # -- mutation ----------------------------------------------------------
+
+    def _check_schema(self, tup: NDTuple):
+        schema = self._schemas.get(tup.table)
+        if schema is not None and schema.arity != tup.arity:
+            raise SchemaError(
+                f"tuple {tup} has arity {tup.arity}, schema of "
+                f"{tup.table!r} expects {schema.arity}"
+            )
+        return schema
+
+    def _evict_key_conflicts(self, tup: NDTuple, schema: Optional[TableSchema]):
+        """Remove tuples sharing the primary key (NDlog update semantics)."""
+        if schema is None or not schema.primary_key:
+            return []
+        key = tup.key(schema)
+        conflicting = [
+            other
+            for other in self._tables.get(tup.table, set())
+            if other.key(schema) == key and other != tup
+        ]
+        for other in conflicting:
+            self.remove(other)
+        return conflicting
+
+    def insert(self, tup: NDTuple, derived=False):
+        """Insert a tuple; returns ``True`` if it was not already present."""
+        schema = self._check_schema(tup)
+        self._evict_key_conflicts(tup, schema)
+        bucket = self._tables.setdefault(tup.table, set())
+        fresh = tup not in bucket
+        bucket.add(tup)
+        if derived:
+            self._derived.add(tup)
+        else:
+            self._base.add(tup)
+        return fresh
+
+    def remove(self, tup: NDTuple):
+        """Remove a tuple; returns ``True`` if it was present."""
+        bucket = self._tables.get(tup.table)
+        if bucket is None or tup not in bucket:
+            return False
+        bucket.remove(tup)
+        self._base.discard(tup)
+        self._derived.discard(tup)
+        return True
+
+    def clear_table(self, table):
+        for tup in list(self._tables.get(table, ())):
+            self.remove(tup)
+
+    def snapshot(self) -> "Database":
+        """Return a deep copy of the database (schemas shared, data copied)."""
+        copy = Database(self._schemas)
+        for table, tuples in self._tables.items():
+            copy._tables[table] = set(tuples)
+        copy._base = set(self._base)
+        copy._derived = set(self._derived)
+        return copy
+
+    def __len__(self):
+        return self.count()
+
+    def __contains__(self, tup):
+        return isinstance(tup, NDTuple) and self.contains(tup)

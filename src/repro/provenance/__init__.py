@@ -1,0 +1,41 @@
+"""Classical network provenance (positive and negative).
+
+This package provides the provenance graphs of Section 3.1 of the paper:
+data-only causality between tuples, built from the NDlog engine's event and
+derivation history.  Meta provenance (Section 3.2 onwards) builds on top of
+it and lives in :mod:`repro.meta`.
+"""
+
+from .graph import ProvenanceGraph
+from .query import ProvenanceQuery
+from .vertices import (
+    APPEAR,
+    DELETE,
+    DERIVE,
+    DISAPPEAR,
+    EXIST,
+    INSERT,
+    NAPPEAR,
+    NDERIVE,
+    NEGATIVE_KINDS,
+    NEXIST,
+    NINSERT,
+    NRECEIVE,
+    NSEND,
+    POSITIVE_KINDS,
+    RECEIVE,
+    SEND,
+    TuplePattern,
+    UNDERIVE,
+    Vertex,
+    is_negative,
+    negative_twin,
+)
+
+__all__ = [
+    "ProvenanceGraph", "ProvenanceQuery",
+    "APPEAR", "DELETE", "DERIVE", "DISAPPEAR", "EXIST", "INSERT",
+    "NAPPEAR", "NDERIVE", "NEGATIVE_KINDS", "NEXIST", "NINSERT",
+    "NRECEIVE", "NSEND", "POSITIVE_KINDS", "RECEIVE", "SEND",
+    "TuplePattern", "UNDERIVE", "Vertex", "is_negative", "negative_twin",
+]

@@ -1,0 +1,155 @@
+"""The provenance graph data structure.
+
+A provenance graph is a DAG whose vertices are events (:class:`Vertex`) and
+whose edges point from an effect to its direct causes, so that the *leaves*
+reached from the root are base-tuple insertions (or, for negative provenance,
+missing base tuples).  The graph is built by :mod:`repro.provenance.query`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .vertices import Vertex
+
+
+class ProvenanceGraph:
+    """A rooted DAG of provenance vertices.
+
+    Edges are stored effect -> causes ("the children of a vertex are its
+    direct causes"), matching the QUERY(v) convention of Section 3.5.
+    """
+
+    def __init__(self, root: Optional[Vertex] = None):
+        self.root = root
+        self._vertices: Dict[int, Vertex] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._parents: Dict[int, List[int]] = {}
+        if root is not None:
+            self.add_vertex(root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        self._vertices.setdefault(vertex.vertex_id, vertex)
+        self._children.setdefault(vertex.vertex_id, [])
+        self._parents.setdefault(vertex.vertex_id, [])
+        if self.root is None:
+            self.root = vertex
+        return vertex
+
+    def add_edge(self, effect: Vertex, cause: Vertex):
+        """Record that ``cause`` directly caused ``effect``."""
+        self.add_vertex(effect)
+        self.add_vertex(cause)
+        if cause.vertex_id not in self._children[effect.vertex_id]:
+            self._children[effect.vertex_id].append(cause.vertex_id)
+            self._parents[cause.vertex_id].append(effect.vertex_id)
+
+    def add_cause_chain(self, effect: Vertex, causes: Iterable[Vertex]):
+        for cause in causes:
+            self.add_edge(effect, cause)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._vertices.values())
+
+    def causes(self, vertex: Vertex) -> List[Vertex]:
+        return [self._vertices[i] for i in self._children.get(vertex.vertex_id, [])]
+
+    def effects(self, vertex: Vertex) -> List[Vertex]:
+        return [self._vertices[i] for i in self._parents.get(vertex.vertex_id, [])]
+
+    def leaves(self) -> List[Vertex]:
+        return [v for v in self._vertices.values()
+                if not self._children.get(v.vertex_id)]
+
+    def size(self) -> int:
+        return len(self._vertices)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (in edges)."""
+        if self.root is None:
+            return 0
+        best = 0
+        stack = [(self.root, 0)]
+        seen: Set[Tuple[int, int]] = set()
+        while stack:
+            vertex, depth = stack.pop()
+            best = max(best, depth)
+            for cause in self.causes(vertex):
+                key = (vertex.vertex_id, cause.vertex_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                stack.append((cause, depth + 1))
+        return best
+
+    def walk(self) -> Iterator[Tuple[Vertex, int]]:
+        """Breadth-first traversal from the root yielding (vertex, depth)."""
+        if self.root is None:
+            return
+        queue = deque([(self.root, 0)])
+        visited = {self.root.vertex_id}
+        while queue:
+            vertex, depth = queue.popleft()
+            yield vertex, depth
+            for cause in self.causes(vertex):
+                if cause.vertex_id not in visited:
+                    visited.add(cause.vertex_id)
+                    queue.append((cause, depth + 1))
+
+    def contains_kind(self, kind: str) -> bool:
+        return any(v.kind == kind for v in self._vertices.values())
+
+    def find(self, predicate) -> List[Vertex]:
+        return [v for v in self._vertices.values() if predicate(v)]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_text(self, max_depth: Optional[int] = None) -> str:
+        """Render the graph as an indented tree (duplicates shown once)."""
+        if self.root is None:
+            return "(empty provenance graph)"
+        lines: List[str] = []
+        seen: Set[int] = set()
+
+        def visit(vertex: Vertex, depth: int):
+            if max_depth is not None and depth > max_depth:
+                return
+            marker = ""
+            if vertex.vertex_id in seen:
+                marker = " (see above)"
+                lines.append("  " * depth + "- " + vertex.label() + marker)
+                return
+            seen.add(vertex.vertex_id)
+            lines.append("  " * depth + "- " + vertex.label())
+            for cause in self.causes(vertex):
+                visit(cause, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz DOT format (for documentation)."""
+        lines = ["digraph provenance {", "  rankdir=BT;"]
+        for vertex in self._vertices.values():
+            shape = "box" if not vertex.negative else "octagon"
+            label = vertex.label().replace('"', "'")
+            lines.append(f'  v{vertex.vertex_id} [label="{label}", shape={shape}];')
+        for effect_id, cause_ids in self._children.items():
+            for cause_id in cause_ids:
+                lines.append(f"  v{cause_id} -> v{effect_id};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return self.size()

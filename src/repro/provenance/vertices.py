@@ -1,0 +1,124 @@
+"""Vertex types of the (classical) provenance graph.
+
+Section 3.1 of the paper defines positive vertexes (EXIST, INSERT, DELETE,
+DERIVE, UNDERIVE, APPEAR, DISAPPEAR, SEND, RECEIVE) and a negative "twin" for
+each (NEXIST, NAPPEAR, NDERIVE, ...).  A vertex describes an event concerning
+a tuple at a node and time; edges point from an effect to its direct causes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..ndlog.tuples import NDTuple
+
+
+# Positive vertex kinds.
+EXIST = "EXIST"
+INSERT = "INSERT"
+DELETE = "DELETE"
+DERIVE = "DERIVE"
+UNDERIVE = "UNDERIVE"
+APPEAR = "APPEAR"
+DISAPPEAR = "DISAPPEAR"
+SEND = "SEND"
+RECEIVE = "RECEIVE"
+
+# Negative twins.
+NEXIST = "NEXIST"
+NINSERT = "NINSERT"
+NDERIVE = "NDERIVE"
+NAPPEAR = "NAPPEAR"
+NSEND = "NSEND"
+NRECEIVE = "NRECEIVE"
+
+POSITIVE_KINDS = (EXIST, INSERT, DELETE, DERIVE, UNDERIVE, APPEAR, DISAPPEAR,
+                  SEND, RECEIVE)
+NEGATIVE_KINDS = (NEXIST, NINSERT, NDERIVE, NAPPEAR, NSEND, NRECEIVE)
+
+_NEGATIVE_TWIN = {
+    EXIST: NEXIST,
+    INSERT: NINSERT,
+    DERIVE: NDERIVE,
+    APPEAR: NAPPEAR,
+    SEND: NSEND,
+    RECEIVE: NRECEIVE,
+}
+
+
+def negative_twin(kind: str) -> str:
+    """Return the negative twin of a positive vertex kind."""
+    return _NEGATIVE_TWIN[kind]
+
+
+def is_negative(kind: str) -> bool:
+    return kind in NEGATIVE_KINDS
+
+
+@dataclass(frozen=True)
+class TuplePattern:
+    """A partially-specified tuple, used by negative vertexes.
+
+    ``constraints`` maps column index to a required value; unspecified
+    columns are unconstrained.  A pattern with no constraints describes "any
+    tuple of this table".
+    """
+
+    table: str
+    constraints: Tuple[Tuple[int, object], ...] = ()
+
+    @classmethod
+    def from_dict(cls, table: str, constraints: Dict[int, object]) -> "TuplePattern":
+        return cls(table, tuple(sorted(constraints.items())))
+
+    def constraints_dict(self) -> Dict[int, object]:
+        return dict(self.constraints)
+
+    def matches(self, tup: NDTuple) -> bool:
+        if tup.table != self.table:
+            return False
+        for index, value in self.constraints:
+            if index >= len(tup.values) or tup.values[index] != value:
+                return False
+        return True
+
+    def __str__(self):
+        parts = [f"[{i}]={v!r}" for i, v in self.constraints]
+        inner = ", ".join(parts) if parts else "..."
+        return f"{self.table}({inner})"
+
+
+_vertex_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One vertex of the provenance graph."""
+
+    kind: str
+    subject: object                      # NDTuple or TuplePattern
+    node: object = None
+    time: Optional[int] = None
+    interval: Optional[Tuple[int, Optional[int]]] = None
+    rule: Optional[str] = None
+    vertex_id: int = field(default_factory=lambda: next(_vertex_counter))
+
+    @property
+    def negative(self) -> bool:
+        return is_negative(self.kind)
+
+    def label(self) -> str:
+        when = ""
+        if self.interval is not None:
+            end = self.interval[1] if self.interval[1] is not None else "now"
+            when = f" @[{self.interval[0]}, {end}]"
+        elif self.time is not None:
+            when = f" @t={self.time}"
+        where = f" on {self.node}" if self.node is not None else ""
+        via = f" via {self.rule}" if self.rule else ""
+        return f"{self.kind}({self.subject}){via}{where}{when}"
+
+    def __str__(self):
+        return self.label()

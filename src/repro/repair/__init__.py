@@ -1,0 +1,33 @@
+"""Repair candidates: representation, application, and generation."""
+
+from .apply import RepairApplicationError, RepairedProgram, apply_candidate
+from .candidates import (
+    AddRule,
+    ChangeAssignment,
+    ChangeConstant,
+    ChangeOperator,
+    ChangeRuleHead,
+    ChangeTuple,
+    CopyRule,
+    DATA_EDIT_KINDS,
+    DeletePredicate,
+    DeleteRule,
+    DeleteSelection,
+    DeleteTuple,
+    Edit,
+    InsertTuple,
+    PROGRAM_EDIT_KINDS,
+    RepairCandidate,
+    deduplicate,
+)
+from .generator import RepairGenerator, RepairGeneratorConfig
+
+__all__ = [
+    "RepairApplicationError", "RepairedProgram", "apply_candidate",
+    "AddRule", "ChangeAssignment", "ChangeConstant", "ChangeOperator",
+    "ChangeRuleHead", "ChangeTuple", "CopyRule", "DATA_EDIT_KINDS",
+    "DeletePredicate", "DeleteRule", "DeleteSelection", "DeleteTuple",
+    "Edit", "InsertTuple", "PROGRAM_EDIT_KINDS", "RepairCandidate",
+    "deduplicate",
+    "RepairGenerator", "RepairGeneratorConfig",
+]

@@ -1,0 +1,138 @@
+"""Applying repair candidates to programs and base data.
+
+The result of applying a candidate is a :class:`RepairedProgram`: a cloned
+and edited program, plus lists of base tuples to insert or remove before
+replaying.  Applying never mutates the original program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..ndlog.ast import BinOp, Const, Program, Selection, Var
+from ..ndlog.tuples import NDTuple
+from .candidates import (
+    AddRule,
+    ChangeAssignment,
+    ChangeConstant,
+    ChangeOperator,
+    ChangeRuleHead,
+    ChangeTuple,
+    CopyRule,
+    DeletePredicate,
+    DeleteRule,
+    DeleteSelection,
+    DeleteTuple,
+    Edit,
+    InsertTuple,
+    RepairCandidate,
+)
+
+
+class RepairApplicationError(Exception):
+    """Raised when an edit cannot be applied (e.g. unknown rule)."""
+
+
+@dataclass
+class RepairedProgram:
+    """The outcome of applying a repair candidate."""
+
+    program: Program
+    inserted_tuples: List[NDTuple] = field(default_factory=list)
+    removed_tuples: List[NDTuple] = field(default_factory=list)
+    candidate: Optional[RepairCandidate] = None
+
+    def summary(self) -> str:
+        lines = [f"repaired program ({len(self.program.rules)} rules)"]
+        if self.candidate is not None:
+            lines.append(f"candidate: {self.candidate.description}")
+        for tup in self.inserted_tuples:
+            lines.append(f"  + insert {tup}")
+        for tup in self.removed_tuples:
+            lines.append(f"  - remove {tup}")
+        return "\n".join(lines)
+
+
+def apply_candidate(program: Program, candidate: RepairCandidate) -> RepairedProgram:
+    """Apply every edit of ``candidate`` to a clone of ``program``."""
+    repaired = RepairedProgram(program=program.clone(), candidate=candidate)
+    # Deletions of selections/predicates must be applied from the highest
+    # index down so earlier deletions do not shift later indexes.
+    ordered = sorted(candidate.edits, key=_deletion_sort_key)
+    for edit in ordered:
+        _apply_edit(repaired, edit)
+    return repaired
+
+
+def _deletion_sort_key(edit: Edit):
+    if isinstance(edit, DeleteSelection):
+        return (1, -edit.selection_index)
+    if isinstance(edit, DeletePredicate):
+        return (1, -edit.predicate_index)
+    return (0, 0)
+
+
+def _rule(repaired: RepairedProgram, name: str):
+    try:
+        return repaired.program.rule_named(name)
+    except KeyError as exc:
+        raise RepairApplicationError(f"rule {name!r} not found") from exc
+
+
+def _apply_edit(repaired: RepairedProgram, edit: Edit):
+    if isinstance(edit, ChangeConstant):
+        rule = _rule(repaired, edit.rule)
+        _check_index(rule.selections, edit.selection_index, "selection", edit.rule)
+        selection = rule.selections[edit.selection_index]
+        if edit.side == "left":
+            selection.expr = BinOp(selection.expr.op, Const(edit.new_value),
+                                   selection.expr.right)
+        else:
+            selection.expr = BinOp(selection.expr.op, selection.expr.left,
+                                   Const(edit.new_value))
+    elif isinstance(edit, ChangeOperator):
+        rule = _rule(repaired, edit.rule)
+        _check_index(rule.selections, edit.selection_index, "selection", edit.rule)
+        selection = rule.selections[edit.selection_index]
+        selection.expr = BinOp(edit.new_op, selection.expr.left, selection.expr.right)
+    elif isinstance(edit, DeleteSelection):
+        rule = _rule(repaired, edit.rule)
+        _check_index(rule.selections, edit.selection_index, "selection", edit.rule)
+        del rule.selections[edit.selection_index]
+    elif isinstance(edit, DeletePredicate):
+        rule = _rule(repaired, edit.rule)
+        _check_index(rule.body, edit.predicate_index, "predicate", edit.rule)
+        if len(rule.body) <= 1:
+            raise RepairApplicationError(
+                f"cannot delete the only body predicate of rule {edit.rule}")
+        del rule.body[edit.predicate_index]
+    elif isinstance(edit, ChangeAssignment):
+        rule = _rule(repaired, edit.rule)
+        _check_index(rule.assignments, edit.assignment_index, "assignment", edit.rule)
+        rule.assignments[edit.assignment_index].expr = edit.new_expr.clone()
+    elif isinstance(edit, ChangeRuleHead):
+        rule = _rule(repaired, edit.rule)
+        rule.head = edit.new_head.clone()
+    elif isinstance(edit, CopyRule):
+        repaired.program.rules.append(edit.new_rule.clone())
+    elif isinstance(edit, AddRule):
+        repaired.program.rules.append(edit.new_rule.clone())
+    elif isinstance(edit, DeleteRule):
+        index = repaired.program.rule_index(edit.rule)
+        del repaired.program.rules[index]
+    elif isinstance(edit, InsertTuple):
+        repaired.inserted_tuples.append(edit.tuple)
+    elif isinstance(edit, DeleteTuple):
+        repaired.removed_tuples.append(edit.tuple)
+    elif isinstance(edit, ChangeTuple):
+        repaired.removed_tuples.append(edit.tuple)
+        repaired.inserted_tuples.append(edit.tuple.replace(edit.column, edit.new_value))
+    else:
+        raise RepairApplicationError(f"unknown edit type {type(edit).__name__}")
+
+
+def _check_index(items, index, what, rule_name):
+    if index < 0 or index >= len(items):
+        raise RepairApplicationError(
+            f"{what} index {index} out of range for rule {rule_name}")

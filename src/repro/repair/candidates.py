@@ -1,0 +1,275 @@
+"""Repair candidates and the program edits they are made of.
+
+A repair candidate (Section 4 of the paper) is a small set of edits to the
+controller program and/or its base tuples, together with a cost (the
+"implausibility" of the change) and the meta provenance tree that produced
+it.  Candidates are applied to a program by :mod:`repro.repair.apply` and
+evaluated by the backtesting subsystem (:mod:`repro.backtest`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ndlog.ast import Atom, Expression, Rule
+from ..ndlog.tuples import NDTuple
+
+
+_candidate_counter = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Edits
+# ---------------------------------------------------------------------------
+
+
+class Edit:
+    """Base class for a single program or data change."""
+
+    #: Symbolic kind name used by the cost model.
+    kind = "edit"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self):
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class ChangeConstant(Edit):
+    """Change a constant inside a selection predicate.
+
+    ``side`` is ``"left"`` or ``"right"``, naming which operand of the
+    comparison holds the constant.
+    """
+
+    rule: str
+    selection_index: int
+    side: str
+    old_value: object
+    new_value: object
+
+    kind = "change_constant"
+
+    def describe(self):
+        return (f"change constant {self.old_value!r} to {self.new_value!r} "
+                f"in selection #{self.selection_index} of rule {self.rule}")
+
+
+@dataclass(frozen=True)
+class ChangeOperator(Edit):
+    """Change the comparison operator of a selection predicate."""
+
+    rule: str
+    selection_index: int
+    old_op: str
+    new_op: str
+
+    kind = "change_operator"
+
+    def describe(self):
+        return (f"change operator {self.old_op!r} to {self.new_op!r} "
+                f"in selection #{self.selection_index} of rule {self.rule}")
+
+
+@dataclass(frozen=True)
+class DeleteSelection(Edit):
+    """Delete a selection predicate from a rule."""
+
+    rule: str
+    selection_index: int
+    text: str = ""
+
+    kind = "delete_selection"
+
+    def describe(self):
+        what = self.text or f"selection #{self.selection_index}"
+        return f"delete {what} in rule {self.rule}"
+
+
+@dataclass(frozen=True)
+class DeletePredicate(Edit):
+    """Delete a body predicate (a joined table) from a rule."""
+
+    rule: str
+    predicate_index: int
+    table: str = ""
+
+    kind = "delete_predicate"
+
+    def describe(self):
+        what = self.table or f"predicate #{self.predicate_index}"
+        return f"delete predicate {what} from rule {self.rule}"
+
+
+@dataclass(frozen=True)
+class ChangeAssignment(Edit):
+    """Replace the expression assigned to a head variable."""
+
+    rule: str
+    assignment_index: int
+    var: str
+    old_text: str
+    new_expr: Expression
+
+    kind = "change_assignment"
+
+    def describe(self):
+        return (f"change assignment {self.var} := {self.old_text} to "
+                f"{self.var} := {self.new_expr.to_ndlog()} in rule {self.rule}")
+
+
+@dataclass(frozen=True)
+class ChangeRuleHead(Edit):
+    """Re-target the head of an existing rule (table and/or arguments)."""
+
+    rule: str
+    new_head: Atom
+
+    kind = "change_head"
+
+    def describe(self):
+        return f"change head of rule {self.rule} to {self.new_head.to_ndlog()}"
+
+
+@dataclass(frozen=True)
+class CopyRule(Edit):
+    """Add a copy of an existing rule with modifications already applied."""
+
+    source_rule: str
+    new_rule: Rule
+
+    kind = "copy_rule"
+
+    def describe(self):
+        return (f"copy rule {self.source_rule} and replace it with "
+                f"{self.new_rule.to_ndlog()}")
+
+
+@dataclass(frozen=True)
+class AddRule(Edit):
+    """Add an entirely new rule to the program."""
+
+    new_rule: Rule
+
+    kind = "add_rule"
+
+    def describe(self):
+        return f"add rule {self.new_rule.to_ndlog()}"
+
+
+@dataclass(frozen=True)
+class DeleteRule(Edit):
+    """Remove a rule from the program."""
+
+    rule: str
+
+    kind = "delete_rule"
+
+    def describe(self):
+        return f"delete rule {self.rule}"
+
+
+@dataclass(frozen=True)
+class InsertTuple(Edit):
+    """Manually insert a base tuple (e.g. manually install a flow entry)."""
+
+    tuple: NDTuple
+
+    kind = "insert_tuple"
+
+    def describe(self):
+        return f"manually insert {self.tuple}"
+
+
+@dataclass(frozen=True)
+class DeleteTuple(Edit):
+    """Remove a base tuple (e.g. withdraw a configuration entry)."""
+
+    tuple: NDTuple
+
+    kind = "delete_tuple"
+
+    def describe(self):
+        return f"delete base tuple {self.tuple}"
+
+
+@dataclass(frozen=True)
+class ChangeTuple(Edit):
+    """Change one value of a base tuple."""
+
+    tuple: NDTuple
+    column: int
+    new_value: object
+
+    kind = "change_tuple"
+
+    def describe(self):
+        return (f"change column {self.column} of {self.tuple} to "
+                f"{self.new_value!r}")
+
+
+PROGRAM_EDIT_KINDS = (
+    "change_constant", "change_operator", "delete_selection",
+    "delete_predicate", "change_assignment", "change_head", "copy_rule",
+    "add_rule", "delete_rule",
+)
+
+DATA_EDIT_KINDS = ("insert_tuple", "delete_tuple", "change_tuple")
+
+
+# ---------------------------------------------------------------------------
+# Repair candidates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RepairCandidate:
+    """A complete candidate repair: one or more edits plus bookkeeping."""
+
+    edits: Tuple[Edit, ...]
+    cost: float
+    description: str = ""
+    tree: object = None               # the MetaTree explaining this candidate
+    candidate_id: int = field(default_factory=lambda: next(_candidate_counter))
+    notes: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.edits, tuple):
+            self.edits = tuple(self.edits)
+        if not self.description:
+            self.description = "; ".join(e.describe() for e in self.edits)
+
+    @property
+    def tag(self) -> str:
+        """Short identifier used for multi-query backtesting."""
+        return f"v{self.candidate_id}"
+
+    def is_program_change(self) -> bool:
+        return any(e.kind in PROGRAM_EDIT_KINDS for e in self.edits)
+
+    def is_data_change(self) -> bool:
+        return any(e.kind in DATA_EDIT_KINDS for e in self.edits)
+
+    def edit_kinds(self) -> Tuple[str, ...]:
+        return tuple(e.kind for e in self.edits)
+
+    def signature(self) -> Tuple:
+        """Structural signature used for de-duplication across search paths."""
+        return tuple(sorted(repr(e) for e in self.edits))
+
+    def __str__(self):
+        return f"[cost {self.cost:.2f}] {self.description}"
+
+
+def deduplicate(candidates: Sequence[RepairCandidate]) -> List[RepairCandidate]:
+    """Drop candidates with identical edit sets, keeping the cheapest."""
+    best = {}
+    for candidate in candidates:
+        key = candidate.signature()
+        if key not in best or candidate.cost < best[key].cost:
+            best[key] = candidate
+    return sorted(best.values(), key=lambda c: (c.cost, c.candidate_id))

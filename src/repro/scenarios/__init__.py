@@ -1,0 +1,41 @@
+"""The five diagnostic case studies of Section 5.3 (Q1-Q5)."""
+
+from typing import Callable, Dict, List
+
+from .base import NDlogScenario, Symptom
+from .q1_copy_paste import build_q1
+from .q2_forwarding import build_q2
+from .q3_policy_update import build_q3
+from .q4_forgotten_packets import build_q4
+from .q5_mac_learning import build_q5
+
+#: Registry of scenario builders by name.
+SCENARIO_BUILDERS: Dict[str, Callable[[], NDlogScenario]] = {
+    "Q1": build_q1,
+    "Q2": build_q2,
+    "Q3": build_q3,
+    "Q4": build_q4,
+    "Q5": build_q5,
+}
+
+
+def build_scenario(name: str, **kwargs) -> NDlogScenario:
+    """Build a scenario by name ("Q1" ... "Q5")."""
+    try:
+        builder = SCENARIO_BUILDERS[name.upper()]
+    except KeyError as exc:
+        raise KeyError(f"unknown scenario {name!r}; expected one of "
+                       f"{sorted(SCENARIO_BUILDERS)}") from exc
+    return builder(**kwargs)
+
+
+def all_scenarios() -> List[NDlogScenario]:
+    """Build all five scenarios (Q1-Q5) with their default parameters."""
+    return [builder() for _, builder in sorted(SCENARIO_BUILDERS.items())]
+
+
+__all__ = [
+    "NDlogScenario", "Symptom", "SCENARIO_BUILDERS",
+    "build_q1", "build_q2", "build_q3", "build_q4", "build_q5",
+    "build_scenario", "all_scenarios",
+]

@@ -1,0 +1,131 @@
+"""Historical logging of data-plane and control-plane activity.
+
+Section 4.3 / 5.4 of the paper: the runtime records control-plane messages
+and a packet log (about 120 bytes per packet); diagnostic queries and
+backtesting later replay this history.  :class:`HistoricalLog` is that
+recorder.  It also computes the storage-overhead numbers reported in
+Section 5.4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .controller import ControlMessage, FlowMod, PacketInEvent, PacketOut
+from .packets import Packet
+
+
+#: Size of one packet-log entry in bytes (packet header + timestamp), as
+#: reported in Section 5.4 of the paper.
+LOG_ENTRY_BYTES = 120
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One logged data-plane packet observation."""
+
+    time: int
+    switch_id: int
+    packet: Packet
+    in_port: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Outcome of one injected packet: where it ended up."""
+
+    time: int
+    packet: Packet
+    delivered_to: Optional[int]      # host id, or None if dropped
+    dropped_at: Optional[int] = None  # switch id where it was dropped
+    path: Tuple[int, ...] = ()
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_to is not None
+
+
+class HistoricalLog:
+    """Chronological record of packets, control messages and deliveries."""
+
+    def __init__(self):
+        self.packet_records: List[PacketRecord] = []
+        self.packet_in_events: List[PacketInEvent] = []
+        self.control_messages: List[Tuple[int, ControlMessage]] = []
+        self.delivery_records: List[DeliveryRecord] = []
+        self.clock = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    def record_packet(self, switch_id: int, packet: Packet,
+                      in_port: Optional[int] = None, time: Optional[int] = None):
+        when = self.tick() if time is None else time
+        self.packet_records.append(PacketRecord(when, switch_id, packet, in_port))
+
+    def record_packet_in(self, event: PacketInEvent):
+        self.packet_in_events.append(event)
+
+    def record_control_message(self, message: ControlMessage, time: int = 0):
+        self.control_messages.append((time, message))
+
+    def record_delivery(self, record: DeliveryRecord):
+        self.delivery_records.append(record)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def packets(self) -> List[Packet]:
+        return [r.packet for r in self.packet_records]
+
+    def ingress_packets(self) -> List[Tuple[int, Packet]]:
+        """(switch, packet) pairs for every logged ingress observation."""
+        return [(r.switch_id, r.packet) for r in self.packet_records]
+
+    def deliveries_per_host(self) -> Dict[int, int]:
+        counts: Dict[int, int] = Counter()
+        for record in self.delivery_records:
+            if record.delivered_to is not None:
+                counts[record.delivered_to] += 1
+        return dict(counts)
+
+    def drop_count(self) -> int:
+        return sum(1 for r in self.delivery_records if not r.delivered)
+
+    def flow_mods(self) -> List[FlowMod]:
+        return [m for _, m in self.control_messages if isinstance(m, FlowMod)]
+
+    def packet_outs(self) -> List[PacketOut]:
+        return [m for _, m in self.control_messages if isinstance(m, PacketOut)]
+
+    def sample_packets(self, count: int, stride: Optional[int] = None) -> List[PacketRecord]:
+        """A deterministic sample of the packet log (used for backtesting)."""
+        if not self.packet_records or count <= 0:
+            return []
+        if count >= len(self.packet_records):
+            return list(self.packet_records)
+        stride = stride or max(1, len(self.packet_records) // count)
+        return self.packet_records[::stride][:count]
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Section 5.4)
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        return LOG_ENTRY_BYTES * len(self.packet_records)
+
+    def logging_rate_mb_per_second(self, duration_seconds: float) -> float:
+        if duration_seconds <= 0:
+            return 0.0
+        return self.storage_bytes() / duration_seconds / 1e6
+
+    def __len__(self):
+        return len(self.packet_records)

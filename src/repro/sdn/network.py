@@ -1,0 +1,231 @@
+"""The data-plane simulator.
+
+:class:`NetworkSimulator` walks packets through the topology switch by
+switch, consulting flow tables, raising ``PacketIn`` events to the controller
+on table misses, and applying the controller's ``FlowMod`` / ``PacketOut``
+responses.  It records everything in a :class:`~repro.sdn.log.HistoricalLog`
+so that meta provenance and backtesting can replay history later.
+
+OpenFlow-faithful detail that matters for scenario Q4: when a packet misses
+in the flow table, installing a flow entry is *not* enough to forward that
+packet — the switch buffered it and only releases it when the controller also
+sends a ``PacketOut``.  Subsequent packets of the flow match the new entry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .controller import Controller, FlowMod, PacketInEvent, PacketOut
+from .log import DeliveryRecord, HistoricalLog
+from .packets import Packet
+from .switch import CONTROLLER_PORT, DROP_PORT, FLOOD_PORT, FlowEntry, Switch
+from .topology import Topology
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate statistics of one simulation run."""
+
+    delivered_per_host: Dict[int, int] = field(default_factory=dict)
+    dropped: int = 0
+    total: int = 0
+    packet_in_count: int = 0
+    flow_mod_count: int = 0
+    packet_out_count: int = 0
+    delivery_records: List[DeliveryRecord] = field(default_factory=list)
+
+    def delivery_ratio(self) -> float:
+        return (self.total - self.dropped) / self.total if self.total else 0.0
+
+    def delivered_to(self, host_id: int) -> int:
+        return self.delivered_per_host.get(host_id, 0)
+
+    def destination_samples(self) -> List[int]:
+        """One entry per delivered packet, naming the receiving host.
+
+        This is the sample the two-sample KS test compares across repairs
+        (Section 5.3: "the traffic distribution at end hosts").  Dropped
+        packets contribute a sentinel value of -1 so that repairs which drop
+        much more (or less) traffic also distort the distribution.
+        """
+        samples = []
+        for record in self.delivery_records:
+            samples.append(record.delivered_to if record.delivered else -1)
+        return samples
+
+
+class NetworkSimulator:
+    """Simulates packet forwarding under a given controller."""
+
+    def __init__(self, topology: Topology, controller: Controller,
+                 log: Optional[HistoricalLog] = None,
+                 require_packet_out: bool = True,
+                 max_hops: int = 64,
+                 tag: Optional[str] = None,
+                 record_ingress: bool = True):
+        self.topology = topology
+        self.controller = controller
+        self.log = log if log is not None else HistoricalLog()
+        self.require_packet_out = require_packet_out
+        self.max_hops = max_hops
+        self.tag = tag
+        self.record_ingress = record_ingress
+        self.stats = TrafficStats()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Control-plane plumbing
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Apply the controller's proactive configuration."""
+        if self._started:
+            return
+        messages = self.controller.on_start(self)
+        self._apply_messages(messages)
+        self._started = True
+
+    def _apply_messages(self, messages) -> List[PacketOut]:
+        packet_outs: List[PacketOut] = []
+        for message in messages:
+            if isinstance(message, FlowMod):
+                switch = self.topology.switches.get(message.switch_id)
+                if switch is not None:
+                    switch.install(message.entry)
+                    self.stats.flow_mod_count += 1
+            elif isinstance(message, PacketOut):
+                packet_outs.append(message)
+                self.stats.packet_out_count += 1
+        return packet_outs
+
+    # ------------------------------------------------------------------
+    # Packet forwarding
+    # ------------------------------------------------------------------
+
+    def inject(self, packet: Packet, at_switch: int,
+               in_port: Optional[int] = None) -> DeliveryRecord:
+        """Inject one packet at a switch and walk it to its fate.
+
+        If ``in_port`` is not given and the packet's source host is attached
+        to the ingress switch, the host's port is used (this is what a real
+        switch would report in the PacketIn).
+        """
+        self.start()
+        if in_port is None:
+            source = self.topology.host_by_ip(packet.src_ip)
+            if source is not None and source.switch_id == at_switch:
+                in_port = source.port
+        if self.record_ingress:
+            self.log.record_packet(at_switch, packet, in_port)
+        record = self._forward(packet, at_switch, in_port)
+        self.log.record_delivery(record)
+        self.stats.total += 1
+        self.stats.delivery_records.append(record)
+        if record.delivered:
+            self.stats.delivered_per_host[record.delivered_to] = \
+                self.stats.delivered_per_host.get(record.delivered_to, 0) + 1
+        else:
+            self.stats.dropped += 1
+        return record
+
+    def run_trace(self, trace: Iterable[Tuple[int, Packet]]) -> TrafficStats:
+        """Inject every (ingress switch, packet) pair of a trace."""
+        for switch_id, packet in trace:
+            self.inject(packet, switch_id)
+        return self.stats
+
+    def _forward(self, packet: Packet, switch_id: int,
+                 in_port: Optional[int]) -> DeliveryRecord:
+        path: List[int] = []
+        hops = 0
+        time = self.log.clock
+        current_switch = switch_id
+        current_port = in_port
+        current_packet = packet
+        while hops < self.max_hops:
+            hops += 1
+            switch = self.topology.switches.get(current_switch)
+            if switch is None:
+                return DeliveryRecord(time, packet, None, dropped_at=current_switch,
+                                      path=tuple(path))
+            path.append(current_switch)
+            entry = switch.lookup(current_packet, current_port, tag=self.tag)
+            if entry is None:
+                outcome = self._handle_table_miss(switch, current_packet, current_port)
+                if outcome is None:
+                    return DeliveryRecord(time, packet, None,
+                                          dropped_at=current_switch, path=tuple(path))
+                out_port = outcome
+            else:
+                if entry.is_drop():
+                    return DeliveryRecord(time, packet, None,
+                                          dropped_at=current_switch, path=tuple(path))
+                out_port = entry.out_port
+            if out_port == FLOOD_PORT:
+                return self._flood(switch, current_packet, current_port, time, path)
+            destination = switch.neighbor(out_port)
+            if destination is None:
+                return DeliveryRecord(time, packet, None, dropped_at=current_switch,
+                                      path=tuple(path))
+            kind, identifier = destination
+            if kind == "host":
+                return DeliveryRecord(time, packet, identifier, path=tuple(path))
+            next_switch = self.topology.switches[identifier]
+            current_port = next_switch.port_to("switch", current_switch)
+            current_switch = identifier
+        return DeliveryRecord(time, packet, None, dropped_at=current_switch,
+                              path=tuple(path))
+
+    def _handle_table_miss(self, switch: Switch, packet: Packet,
+                           in_port: Optional[int]) -> Optional[int]:
+        """Raise PacketIn; return the PacketOut port for this packet, if any."""
+        event = PacketInEvent(switch_id=switch.switch_id, packet=packet,
+                              in_port=in_port, time=self.log.clock)
+        self.stats.packet_in_count += 1
+        messages = self.controller.handle_packet_in(event)
+        packet_outs = self._apply_messages(messages)
+        for message in packet_outs:
+            if message.switch_id == switch.switch_id:
+                return message.port
+        if self.require_packet_out:
+            return None
+        # Lenient mode: retry the lookup with any freshly installed entries.
+        entry = switch.lookup(packet, in_port, tag=self.tag)
+        if entry is not None and not entry.is_drop():
+            return entry.out_port
+        return None
+
+    def _flood(self, switch: Switch, packet: Packet, in_port: Optional[int],
+               time: int, path: List[int]) -> DeliveryRecord:
+        """Deliver to every host port of the switch except the ingress port.
+
+        Flooding is restricted to the local switch (no propagation to other
+        switches) to keep the simulation loop-free; this is sufficient for
+        the MAC-learning scenario, where flooding only needs to reach the
+        directly attached hosts.
+        """
+        candidates = [identifier for port, (kind, identifier)
+                      in sorted(switch.ports.items())
+                      if port != in_port and kind == "host"]
+        if not candidates:
+            return DeliveryRecord(time, packet, None, dropped_at=switch.switch_id,
+                                  path=tuple(path))
+        # The destination host receives the flooded copy if it is attached
+        # here; otherwise the first attached host stands in for "some host
+        # received a gratuitous copy".
+        target = packet.dst_ip if packet.dst_ip in candidates else candidates[0]
+        return DeliveryRecord(time, packet, target, path=tuple(path))
+
+
+def clear_reactive_state(topology: Topology, keep_priority: int = 1) -> None:
+    """Remove reactively installed flow entries, keeping the proactive core.
+
+    Proactive core routes are installed at priority ``keep_priority``;
+    reactive applications install at higher priorities, so this removes
+    every entry above the base priority (used between backtest runs).
+    """
+    for switch in topology.switches.values():
+        switch.flow_table.remove_where(lambda e: e.priority > keep_priority)

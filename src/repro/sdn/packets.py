@@ -1,0 +1,92 @@
+"""Packet model for the simulated SDN.
+
+Packets are immutable records of header fields plus a payload size.  Header
+fields use small integers (host ids double as addresses) so that they map
+directly onto NDlog tuple values; helper functions render them as dotted
+strings for human-readable logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+# Well-known ports / protocols used throughout the scenarios.
+HTTP_PORT = 80
+DNS_PORT = 53
+PROTO_TCP = "tcp"
+PROTO_UDP = "udp"
+PROTO_ICMP = "icmp"
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single packet traversing the simulated network."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int = 0
+    dst_port: int = 0
+    proto: str = PROTO_TCP
+    src_mac: Optional[int] = None
+    dst_mac: Optional[int] = None
+    size: int = 120
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def header(self) -> Dict[str, object]:
+        """Header fields as a dict keyed by canonical field names."""
+        return {
+            "src_ip": self.src_ip,
+            "dst_ip": self.dst_ip,
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "proto": self.proto,
+            "src_mac": self.src_mac if self.src_mac is not None else self.src_ip,
+            "dst_mac": self.dst_mac if self.dst_mac is not None else self.dst_ip,
+        }
+
+    def field_value(self, name: str):
+        return self.header()[name]
+
+    def with_fields(self, **changes) -> "Packet":
+        """Return a copy with some header fields modified (policy ``mod``)."""
+        return replace(self, **changes)
+
+    def is_http(self) -> bool:
+        return self.dst_port == HTTP_PORT
+
+    def is_dns(self) -> bool:
+        return self.dst_port == DNS_PORT
+
+    def __str__(self):
+        return (f"pkt#{self.packet_id} {self.proto} "
+                f"{format_ip(self.src_ip)}:{self.src_port} -> "
+                f"{format_ip(self.dst_ip)}:{self.dst_port}")
+
+
+def format_ip(address: int) -> str:
+    """Render a small integer address as a dotted quad (10.0.x.y)."""
+    if address is None:
+        return "?"
+    return f"10.0.{(address >> 8) & 0xFF}.{address & 0xFF}"
+
+
+def http_request(src_ip: int, dst_ip: int, src_port: int = 40000) -> Packet:
+    """Convenience constructor for an HTTP request packet."""
+    return Packet(src_ip=src_ip, dst_ip=dst_ip, src_port=src_port,
+                  dst_port=HTTP_PORT, proto=PROTO_TCP)
+
+
+def dns_query(src_ip: int, dst_ip: int, src_port: int = 50000) -> Packet:
+    """Convenience constructor for a DNS query packet."""
+    return Packet(src_ip=src_ip, dst_ip=dst_ip, src_port=src_port,
+                  dst_port=DNS_PORT, proto=PROTO_UDP)
+
+
+def icmp_ping(src_ip: int, dst_ip: int) -> Packet:
+    """Convenience constructor for an ICMP echo request."""
+    return Packet(src_ip=src_ip, dst_ip=dst_ip, proto=PROTO_ICMP)

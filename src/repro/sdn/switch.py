@@ -1,0 +1,176 @@
+"""Switches, flow tables and flow entries.
+
+A flow entry matches on a subset of header fields (missing fields are
+wildcards) and carries an action: forward out of a port, drop, or send to the
+controller.  Matching follows OpenFlow conventions: the highest-priority
+matching entry wins; a table miss sends the packet to the controller.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .packets import Packet
+
+
+#: Pseudo "ports" with special meaning in actions.
+DROP_PORT = -1
+CONTROLLER_PORT = -2
+FLOOD_PORT = -3
+
+#: Header fields a flow entry may match on.
+MATCH_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto",
+                "src_mac", "dst_mac", "in_port")
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """A single flow-table entry.
+
+    ``match`` maps field names (from :data:`MATCH_FIELDS`, plus ``in_port``)
+    to required values; fields not present are wildcarded.  ``out_port`` is a
+    physical port number, or one of the special pseudo ports.  ``tags`` is
+    used by multi-query backtesting (Section 4.4) to restrict an entry to a
+    subset of repair candidates; an empty tag set means "all candidates".
+    """
+
+    match: Tuple[Tuple[str, object], ...]
+    out_port: int
+    priority: int = 1
+    tags: Tuple[str, ...] = ()
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+
+    @classmethod
+    def create(cls, match: Dict[str, object], out_port: int, priority: int = 1,
+               tags: Iterable[str] = ()) -> "FlowEntry":
+        for field_name in match:
+            if field_name not in MATCH_FIELDS:
+                raise ValueError(f"unknown match field {field_name!r}")
+        return cls(match=tuple(sorted(match.items())), out_port=out_port,
+                   priority=priority, tags=tuple(tags))
+
+    def match_dict(self) -> Dict[str, object]:
+        return dict(self.match)
+
+    def matches(self, packet: Packet, in_port: Optional[int] = None) -> bool:
+        header = packet.header()
+        header["in_port"] = in_port
+        for field_name, value in self.match:
+            if value == "*":
+                continue
+            if header.get(field_name) != value:
+                return False
+        return True
+
+    def is_drop(self) -> bool:
+        return self.out_port == DROP_PORT
+
+    def __str__(self):
+        match = ", ".join(f"{k}={v}" for k, v in self.match) or "any"
+        action = {DROP_PORT: "drop", CONTROLLER_PORT: "to-controller",
+                  FLOOD_PORT: "flood"}.get(self.out_port, f"fwd({self.out_port})")
+        tag = f" tags={list(self.tags)}" if self.tags else ""
+        return f"FlowEntry[{match} -> {action} prio={self.priority}{tag}]"
+
+
+class FlowTable:
+    """A priority-ordered collection of flow entries."""
+
+    def __init__(self, entries: Optional[Iterable[FlowEntry]] = None):
+        self._entries: List[FlowEntry] = list(entries or [])
+
+    def install(self, entry: FlowEntry) -> FlowEntry:
+        """Install an entry, de-duplicating exact duplicates.
+
+        Overlapping entries with the same match but different actions are
+        allowed to co-exist (as in OpenFlow); lookups resolve ties in favour
+        of the entry installed first, which keeps forwarding deterministic.
+        """
+        self._entries = [
+            existing for existing in self._entries
+            if not (existing.match == entry.match
+                    and existing.priority == entry.priority
+                    and existing.out_port == entry.out_port
+                    and existing.tags == entry.tags)
+        ]
+        self._entries.append(entry)
+        return entry
+
+    def remove_where(self, predicate) -> int:
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        return before - len(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries)
+
+    def lookup(self, packet: Packet, in_port: Optional[int] = None,
+               tag: Optional[str] = None) -> Optional[FlowEntry]:
+        """Return the best matching entry, or ``None`` on a table miss.
+
+        When ``tag`` is given (multi-query backtesting), only entries whose
+        tag set is empty or contains the tag are considered.
+        """
+        best: Optional[FlowEntry] = None
+        for entry in self._entries:
+            if tag is not None and entry.tags and tag not in entry.tags:
+                continue
+            if tag is None and entry.tags:
+                continue
+            if not entry.matches(packet, in_port):
+                continue
+            if best is None or entry.priority > best.priority:
+                best = entry
+        return best
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+@dataclass
+class Switch:
+    """A simulated OpenFlow switch."""
+
+    switch_id: int
+    flow_table: FlowTable = field(default_factory=FlowTable)
+    #: port number -> ("switch", switch_id) or ("host", host_id)
+    ports: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = f"S{self.switch_id}"
+
+    def attach(self, port: int, kind: str, identifier: int):
+        if kind not in ("switch", "host"):
+            raise ValueError(f"unknown attachment kind {kind!r}")
+        self.ports[port] = (kind, identifier)
+
+    def neighbor(self, port: int) -> Optional[Tuple[str, int]]:
+        return self.ports.get(port)
+
+    def port_to(self, kind: str, identifier: int) -> Optional[int]:
+        for port, (neighbor_kind, neighbor_id) in self.ports.items():
+            if neighbor_kind == kind and neighbor_id == identifier:
+                return port
+        return None
+
+    def install(self, entry: FlowEntry) -> FlowEntry:
+        return self.flow_table.install(entry)
+
+    def lookup(self, packet: Packet, in_port: Optional[int] = None,
+               tag: Optional[str] = None) -> Optional[FlowEntry]:
+        return self.flow_table.lookup(packet, in_port, tag)
+
+    def __str__(self):
+        return f"{self.name}(ports={sorted(self.ports)}, entries={len(self.flow_table)})"

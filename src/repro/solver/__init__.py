@@ -1,0 +1,30 @@
+"""Mini constraint solver used by the meta provenance constraint pools.
+
+This subpackage is the reproduction's substitute for the Z3 binding used by
+the paper's prototype.  See :mod:`repro.solver.solver` for details.
+"""
+
+from .constraints import (
+    COMPARISON_OPS,
+    Comparison,
+    Constraint,
+    Implication,
+    NEGATIONS,
+    comparison_from_ndlog,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from .solver import Model, Solver, UnsatisfiableError, solve
+from .terms import Offset, SymVar, Term, WILDCARD, evaluate_term, is_constant, term_variables
+
+__all__ = [
+    "COMPARISON_OPS", "Comparison", "Constraint", "Implication", "NEGATIONS",
+    "comparison_from_ndlog", "eq", "ge", "gt", "le", "lt", "ne",
+    "Model", "Solver", "UnsatisfiableError", "solve",
+    "Offset", "SymVar", "Term", "WILDCARD", "evaluate_term", "is_constant",
+    "term_variables",
+]

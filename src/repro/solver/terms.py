@@ -1,0 +1,84 @@
+"""Terms for the constraint mini-solver.
+
+The solver reasons about *terms*, which are either symbolic variables
+(:class:`SymVar`), concrete constants (Python ints or strings, plus the
+wildcard sentinel), or a variable plus an integer offset (:class:`Offset`,
+used for constraints such as ``x + 1 == y`` that arise from arithmetic in
+selection predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+#: Wildcard constant (mirrors :data:`repro.ndlog.ast.WILDCARD`).
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class SymVar:
+    """A symbolic variable, identified by name.
+
+    Names follow the paper's convention of ``<Tuple>.<attribute>`` — e.g.
+    ``Const0.Val`` or ``A0.x`` — but any string is accepted.
+    """
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+    def plus(self, offset: int) -> "Offset":
+        return Offset(self, offset)
+
+
+@dataclass(frozen=True)
+class Offset:
+    """A symbolic variable plus a constant integer offset (``var + k``)."""
+
+    var: SymVar
+    offset: int
+
+    def __str__(self):
+        sign = "+" if self.offset >= 0 else "-"
+        return f"{self.var} {sign} {abs(self.offset)}"
+
+
+Term = Union[SymVar, Offset, int, str]
+
+
+def is_constant(term: Term) -> bool:
+    """True if the term is a concrete value (int, string or wildcard)."""
+    return not isinstance(term, (SymVar, Offset))
+
+
+def term_variables(term: Term):
+    """Return the set of :class:`SymVar` appearing in the term."""
+    if isinstance(term, SymVar):
+        return {term}
+    if isinstance(term, Offset):
+        return {term.var}
+    return set()
+
+
+def evaluate_term(term: Term, assignment) -> object:
+    """Evaluate a term under a {SymVar: value} assignment.
+
+    Returns ``None`` if the term references an unassigned variable.
+    """
+    if isinstance(term, SymVar):
+        return assignment.get(term)
+    if isinstance(term, Offset):
+        base = assignment.get(term.var)
+        if base is None or not isinstance(base, int):
+            return None
+        return base + term.offset
+    return term
+
+
+def render_term(term: Term) -> str:
+    if isinstance(term, str) and term != WILDCARD:
+        return repr(term)
+    return str(term)

@@ -1,0 +1,137 @@
+"""Tests for backtesting: metrics, sequential and multi-query replay, ranking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.backtest import (
+    Backtester,
+    MultiQueryBacktester,
+    format_table,
+    ks_two_sample,
+    rank_results,
+    suggestion_list,
+    total_variation_distance,
+)
+from repro.repair import ChangeConstant, DeleteSelection, RepairCandidate
+from repro.scenarios import build_q1
+
+
+@pytest.fixture(scope="module")
+def q1():
+    return build_q1()
+
+
+@pytest.fixture(scope="module")
+def q1_candidates():
+    good = RepairCandidate(
+        edits=(ChangeConstant("r7", 0, "right", 2, 3),), cost=1.1,
+        description="change Swi==2 to Swi==3 in r7")
+    harmful = RepairCandidate(
+        edits=(DeleteSelection("r7", 0, "Swi == 2"),), cost=2.0,
+        description="delete Swi==2 in r7")
+    return good, harmful
+
+
+class TestKSMetric:
+    def test_identical_samples_have_zero_statistic(self):
+        result = ks_two_sample([1, 2, 3, 4], [1, 2, 3, 4])
+        assert result.statistic == 0.0
+        assert not result.significant()
+
+    def test_disjoint_samples_have_statistic_one(self):
+        result = ks_two_sample([1] * 50, [2] * 50)
+        assert result.statistic == pytest.approx(1.0)
+        assert result.significant()
+
+    def test_empty_sample_handling(self):
+        assert ks_two_sample([], []).statistic == 0.0
+        assert ks_two_sample([1], []).statistic == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=5, max_size=60),
+           st.lists(st.integers(min_value=0, max_value=5), min_size=5, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_statistic_matches_scipy(self, a, b):
+        ours = ks_two_sample(a, b)
+        reference = scipy_stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(reference.statistic, abs=1e-9)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_statistic_is_symmetric_and_bounded(self, sample):
+        other = sample[::-1] + [3]
+        ab = ks_two_sample(sample, other)
+        ba = ks_two_sample(other, sample)
+        assert ab.statistic == pytest.approx(ba.statistic)
+        assert 0.0 <= ab.statistic <= 1.0
+
+    def test_total_variation_distance_zero_for_identical_runs(self, q1):
+        backtester = Backtester(q1)
+        baseline = backtester.baseline()
+        assert total_variation_distance(baseline, baseline) == 0.0
+
+
+class TestSequentialBacktesting:
+    def test_good_repair_accepted(self, q1, q1_candidates):
+        good, _ = q1_candidates
+        result = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate(good)
+        assert result.effective
+        assert result.accepted
+
+    def test_harmful_repair_rejected(self, q1, q1_candidates):
+        _, harmful = q1_candidates
+        result = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate(harmful)
+        assert result.effective          # it does fix the symptom ...
+        assert not result.accepted       # ... but distorts other traffic
+
+    def test_report_counts(self, q1, q1_candidates):
+        report = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate_all(
+            list(q1_candidates))
+        generated, surviving = report.counts()
+        assert generated == 2
+        assert surviving == 1
+
+    def test_baseline_shows_the_symptom(self, q1):
+        baseline = Backtester(q1).baseline()
+        assert baseline.delivered_to(q1.target_host) == 0
+        assert baseline.dropped > 0
+
+    def test_format_table_renders(self, q1, q1_candidates):
+        report = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate_all(
+            list(q1_candidates))
+        text = format_table(report.results)
+        assert "accepted" in text and "rejected" in text
+
+
+class TestMultiQueryBacktesting:
+    def test_verdicts_match_sequential(self, q1, q1_candidates):
+        candidates = list(q1_candidates)
+        sequential = Backtester(q1, ks_threshold=q1.ks_threshold
+                                ).evaluate_all(candidates)
+        joint = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold
+                                     ).evaluate_all(candidates)
+        assert [r.accepted for r in sequential.results] == \
+               [r.accepted for r in joint.results]
+        assert [r.effective for r in sequential.results] == \
+               [r.effective for r in joint.results]
+
+    def test_sharing_is_reported(self, q1, q1_candidates):
+        report = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold
+                                      ).evaluate_all(list(q1_candidates))
+        assert report.shared_evaluations + report.candidate_evaluations > 0
+        assert 0.0 <= report.sharing_ratio() <= 1.0
+
+
+class TestRanking:
+    def test_accepted_first_in_cost_order(self, q1, q1_candidates):
+        report = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate_all(
+            list(q1_candidates))
+        ranked = rank_results(report.results)
+        assert all(r.accepted for r in ranked)
+        costs = [r.candidate.cost for r in ranked]
+        assert costs == sorted(costs)
+
+    def test_suggestion_list_limit(self, q1, q1_candidates):
+        report = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate_all(
+            list(q1_candidates))
+        assert len(suggestion_list(report, limit=1)) <= 1

@@ -1,0 +1,201 @@
+"""Tests for repair edits, candidate application, and the cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meta.costs import CostModel, DEFAULT_COSTS, uniform_cost_model
+from repro.meta.metaprogram import MetaProgram
+from repro.meta.metarules import (
+    MUDLOG_META_TUPLES,
+    meta_model_summary,
+    mudlog_meta_program,
+)
+from repro.ndlog import Const, Var, make_tuple, parse_program
+from repro.repair import (
+    AddRule,
+    ChangeAssignment,
+    ChangeConstant,
+    ChangeOperator,
+    ChangeRuleHead,
+    CopyRule,
+    DeletePredicate,
+    DeleteRule,
+    DeleteSelection,
+    DeleteTuple,
+    InsertTuple,
+    RepairApplicationError,
+    RepairCandidate,
+    apply_candidate,
+    deduplicate,
+)
+
+PROGRAM = """
+r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt), Swi == 1.
+r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+"""
+
+
+@pytest.fixture
+def program():
+    return parse_program(PROGRAM)
+
+
+def single(edit, cost=1.0):
+    return RepairCandidate(edits=(edit,), cost=cost)
+
+
+class TestApplyEdits:
+    def test_change_constant(self, program):
+        repaired = apply_candidate(program, single(
+            ChangeConstant("r7", 0, "right", 2, 3)))
+        assert repaired.program.rule_named("r7").selections[0].right == Const(3)
+        # The original program is untouched.
+        assert program.rule_named("r7").selections[0].right == Const(2)
+
+    def test_change_operator(self, program):
+        repaired = apply_candidate(program, single(
+            ChangeOperator("r7", 0, "==", ">=")))
+        assert repaired.program.rule_named("r7").selections[0].op == ">="
+
+    def test_delete_selection(self, program):
+        repaired = apply_candidate(program, single(DeleteSelection("r7", 0)))
+        assert len(repaired.program.rule_named("r7").selections) == 1
+
+    def test_multiple_deletions_apply_in_reverse_index_order(self, program):
+        candidate = RepairCandidate(edits=(
+            DeleteSelection("r7", 0, "Swi == 2"),
+            DeleteSelection("r7", 1, "Hdr == 80"),
+        ), cost=4.0)
+        repaired = apply_candidate(program, candidate)
+        assert repaired.program.rule_named("r7").selections == []
+
+    def test_delete_predicate_requires_remaining_body(self, program):
+        with pytest.raises(RepairApplicationError):
+            apply_candidate(program, single(DeletePredicate("r7", 0)))
+        repaired = apply_candidate(program, single(DeletePredicate("r1", 1)))
+        assert len(repaired.program.rule_named("r1").body) == 1
+
+    def test_change_assignment(self, program):
+        repaired = apply_candidate(program, single(
+            ChangeAssignment("r7", 0, "Prt", "2", Const(9))))
+        assert repaired.program.rule_named("r7").assignments[0].expr == Const(9)
+
+    def test_change_rule_head_and_copy(self, program):
+        new_head = program.rule_named("r7").head.clone()
+        new_head.table = "PacketOut"
+        repaired = apply_candidate(program, single(ChangeRuleHead("r7", new_head)))
+        assert repaired.program.rule_named("r7").head.table == "PacketOut"
+        copied_rule = program.rule_named("r7").clone()
+        copied_rule.name = "r7_copy"
+        repaired = apply_candidate(program, single(CopyRule("r7", copied_rule)))
+        assert len(repaired.program.rules) == 3
+
+    def test_add_and_delete_rule(self, program):
+        extra = program.rule_named("r7").clone()
+        extra.name = "r9"
+        repaired = apply_candidate(program, single(AddRule(extra)))
+        assert "r9" in [r.name for r in repaired.program.rules]
+        repaired = apply_candidate(program, single(DeleteRule("r1")))
+        assert [r.name for r in repaired.program.rules] == ["r7"]
+
+    def test_tuple_edits_are_tracked(self, program):
+        flow = make_tuple("FlowTable", 3, 80, 2)
+        repaired = apply_candidate(program, RepairCandidate(
+            edits=(InsertTuple(flow), DeleteTuple(make_tuple("WebLoadBalancer", "C", 80, 2))),
+            cost=2.0))
+        assert flow in repaired.inserted_tuples
+        assert repaired.removed_tuples
+        assert "insert" in repaired.summary()
+
+    def test_unknown_rule_raises(self, program):
+        with pytest.raises(RepairApplicationError):
+            apply_candidate(program, single(ChangeConstant("r99", 0, "right", 2, 3)))
+
+    def test_index_out_of_range_raises(self, program):
+        with pytest.raises(RepairApplicationError):
+            apply_candidate(program, single(DeleteSelection("r7", 5)))
+
+
+class TestCandidates:
+    def test_description_is_derived_from_edits(self):
+        candidate = single(ChangeConstant("r7", 0, "right", 2, 3))
+        assert "change constant" in candidate.description
+        assert candidate.tag.startswith("v")
+
+    def test_deduplicate_keeps_cheapest(self):
+        a = RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),), cost=2.0)
+        b = RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),), cost=1.0)
+        c = RepairCandidate(edits=(DeleteSelection("r7", 0),), cost=2.0)
+        unique = deduplicate([a, b, c])
+        assert len(unique) == 2
+        assert unique[0].cost == 1.0
+
+    def test_program_vs_data_changes(self):
+        assert single(ChangeConstant("r7", 0, "right", 2, 3)).is_program_change()
+        assert single(InsertTuple(make_tuple("FlowTable", 3, 80, 2))).is_data_change()
+
+
+class TestCostModel:
+    def test_relative_ordering_of_default_costs(self):
+        model = CostModel()
+        constant = model.edit_cost(ChangeConstant("r", 0, "right", 2, 3))
+        operator = model.edit_cost(ChangeOperator("r", 0, "==", "!="))
+        deletion = model.edit_cost(DeleteSelection("r", 0))
+        assert constant < operator < deletion
+
+    def test_far_constant_surcharge(self):
+        model = CostModel()
+        near = model.edit_cost(ChangeConstant("r", 0, "right", 2, 3))
+        far = model.edit_cost(ChangeConstant("r", 0, "right", 2, 2009))
+        assert far > near
+
+    def test_uniform_model_is_flat(self):
+        model = uniform_cost_model()
+        assert model.edit_cost(ChangeConstant("r", 0, "right", 2, 3)) == \
+            model.edit_cost(DeleteSelection("r", 0))
+
+    def test_cutoff(self):
+        model = CostModel()
+        assert model.within_cutoff(model.cutoff)
+        assert not model.within_cutoff(model.cutoff + 0.1)
+
+    @given(st.sampled_from(sorted(DEFAULT_COSTS)))
+    @settings(max_examples=20, deadline=None)
+    def test_every_edit_kind_has_positive_cost(self, kind):
+        assert DEFAULT_COSTS[kind] > 0
+
+
+class TestMetaProgramExtraction:
+    def test_counts_per_rule(self, program):
+        meta = MetaProgram.from_program(program)
+        r7 = meta.for_rule("r7")
+        assert len(r7["heads"]) == 1
+        assert len(r7["predicates"]) == 1
+        assert len(r7["operators"]) == 2
+        assert len(r7["assignments"]) == 1
+        # Two selection constants (2 and 80) plus the assignment constant (2).
+        assert len(r7["constants"]) == 3
+
+    def test_locations_point_back_into_the_ast(self, program):
+        meta = MetaProgram.from_program(program)
+        constant = meta.constants_in_selection("r7", 0)[0]
+        assert constant.location.rule == "r7"
+        assert constant.location.component == "selection"
+        assert constant.value == 2
+
+    def test_program_constants_pool(self, program):
+        meta = MetaProgram.from_program(program)
+        assert 80 in meta.program_constants()
+
+
+class TestMetaModel:
+    def test_mudlog_meta_rules_parse(self):
+        program = mudlog_meta_program()
+        assert len(program.rules) == 15
+        assert {"h1", "h2", "p1", "j1", "j2", "e1", "a1", "s1"} <= \
+            {r.name for r in program.rules}
+
+    def test_meta_model_summary_matches_paper_scale(self):
+        summary = meta_model_summary()
+        assert summary["meta_rules"] == 15
+        assert summary["meta_tuples"] == len(MUDLOG_META_TUPLES) == 14

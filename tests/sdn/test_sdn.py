@@ -1,0 +1,169 @@
+"""Tests for the simulated SDN substrate (switches, topology, traffic, log)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sdn import (
+    DNS_PORT,
+    DROP_PORT,
+    FlowEntry,
+    FlowTable,
+    HTTP_PORT,
+    HistoricalLog,
+    LOG_ENTRY_BYTES,
+    NetworkSimulator,
+    Packet,
+    StaticController,
+    FlowMod,
+    TrafficGenerator,
+    Topology,
+    figure1_topology,
+    format_ip,
+    http_request,
+    protocol_mix,
+    stanford_campus,
+)
+
+
+class TestFlowTable:
+    def test_exact_match_and_wildcards(self):
+        entry = FlowEntry.create({"dst_port": 80}, out_port=1)
+        assert entry.matches(http_request(1, 2))
+        assert not entry.matches(Packet(src_ip=1, dst_ip=2, dst_port=53))
+
+    def test_priority_wins(self):
+        table = FlowTable()
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=1, priority=1))
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=9, priority=5))
+        assert table.lookup(http_request(1, 2)).out_port == 9
+
+    def test_first_installed_wins_ties(self):
+        table = FlowTable()
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=1, priority=5))
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=2, priority=5))
+        assert table.lookup(http_request(1, 2)).out_port == 1
+
+    def test_exact_duplicates_deduplicated(self):
+        table = FlowTable()
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=1))
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=1))
+        assert len(table) == 1
+
+    def test_tag_filtering(self):
+        table = FlowTable()
+        table.install(FlowEntry.create({"dst_port": 80}, out_port=1, tags=("v1",)))
+        assert table.lookup(http_request(1, 2)) is None
+        assert table.lookup(http_request(1, 2), tag="v1").out_port == 1
+        assert table.lookup(http_request(1, 2), tag="v2") is None
+
+    def test_unknown_match_field_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry.create({"bogus": 1}, out_port=1)
+
+    def test_table_miss_returns_none(self):
+        assert FlowTable().lookup(http_request(1, 2)) is None
+
+
+class TestTopology:
+    def test_figure1_structure(self):
+        topo = figure1_topology()
+        assert topo.switch_count() == 3
+        assert {h.role for h in topo.hosts.values()} == {"web", "dns", "client"}
+        # S1 port 1 leads to S2, port 2 to S3 (matching the Figure 2 rules).
+        assert topo.switch(1).neighbor(1) == ("switch", 2)
+        assert topo.switch(1).neighbor(2) == ("switch", 3)
+
+    def test_stanford_campus_sizes(self):
+        topo = stanford_campus(core_switches=16, edge_networks=3, hosts_per_edge=10)
+        assert topo.switch_count() == 19
+        assert topo.host_count() == 30
+        assert topo.hosts_with_role("web") and topo.hosts_with_role("dns")
+
+    def test_core_routes_reach_every_host(self):
+        topo = stanford_campus(core_switches=4, edge_networks=2, hosts_per_edge=3)
+        # A core switch must have a route towards every host.
+        core = topo.switch(1)
+        assert len(core.flow_table) >= topo.host_count()
+
+    def test_next_hop_port(self):
+        topo = figure1_topology()
+        assert topo.next_hop_port(1, 2) == 1
+        assert topo.next_hop_port(1, 3) == 2
+        assert topo.next_hop_port(1, 1) is None
+
+    def test_port_towards_host(self):
+        topo = figure1_topology()
+        # H1 (id 11) sits behind S2; from S1 the next hop is port 1.
+        assert topo.port_towards_host(1, 11) == 1
+        assert topo.port_towards_host(2, 11) == 1
+
+
+class TestSimulator:
+    def test_static_controller_forwards(self):
+        topo = figure1_topology()
+        mods = [FlowMod(1, FlowEntry.create({"dst_port": 80}, out_port=1)),
+                FlowMod(2, FlowEntry.create({"dst_port": 80}, out_port=1))]
+        sim = NetworkSimulator(topo, StaticController(mods))
+        record = sim.inject(http_request(100, 11), at_switch=1)
+        assert record.delivered_to == 11
+        assert record.path == (1, 2)
+
+    def test_table_miss_without_controller_response_drops(self):
+        topo = figure1_topology()
+        sim = NetworkSimulator(topo, StaticController([]))
+        record = sim.inject(http_request(100, 11), at_switch=1)
+        assert not record.delivered
+        assert record.dropped_at == 1
+
+    def test_drop_entry(self):
+        topo = figure1_topology()
+        mods = [FlowMod(1, FlowEntry.create({"dst_port": 80}, out_port=DROP_PORT))]
+        sim = NetworkSimulator(topo, StaticController(mods))
+        record = sim.inject(http_request(100, 11), at_switch=1)
+        assert not record.delivered
+
+    def test_stats_accumulate(self):
+        topo = figure1_topology()
+        mods = [FlowMod(1, FlowEntry.create({"dst_port": 80}, out_port=1)),
+                FlowMod(2, FlowEntry.create({"dst_port": 80}, out_port=1))]
+        sim = NetworkSimulator(topo, StaticController(mods))
+        for _ in range(5):
+            sim.inject(http_request(100, 11), at_switch=1)
+        assert sim.stats.total == 5
+        assert sim.stats.delivered_to(11) == 5
+        assert sim.stats.delivery_ratio() == 1.0
+
+    def test_log_records_packets_and_storage(self):
+        topo = figure1_topology()
+        sim = NetworkSimulator(topo, StaticController([]))
+        sim.inject(http_request(100, 11), at_switch=1)
+        assert len(sim.log) == 1
+        assert sim.log.storage_bytes() == LOG_ENTRY_BYTES
+
+
+class TestTraffic:
+    def test_deterministic_for_seed(self):
+        topo = figure1_topology()
+        a = TrafficGenerator(topo, seed=3).generate(50)
+        b = TrafficGenerator(topo, seed=3).generate(50)
+        assert [(s, p.src_ip, p.dst_ip, p.dst_port) for s, p in a] == \
+               [(s, p.src_ip, p.dst_ip, p.dst_port) for s, p in b]
+
+    def test_mix_is_mostly_web(self):
+        topo = figure1_topology()
+        trace = TrafficGenerator(topo, seed=1).generate(300)
+        mix = protocol_mix(trace)
+        assert mix["web"] > mix["dns"]
+        assert mix["web"] > mix["icmp"]
+        assert len(trace) == 300
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_requested_packet_count_is_respected(self, count):
+        topo = figure1_topology()
+        trace = TrafficGenerator(topo, seed=7).generate(count)
+        assert len(trace) == count
+
+    def test_format_ip(self):
+        assert format_ip(258) == "10.0.1.2"
+        assert format_ip(None) == "?"

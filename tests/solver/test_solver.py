@@ -1,0 +1,217 @@
+"""Tests for the constraint mini-solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import (
+    Comparison,
+    Implication,
+    Model,
+    Solver,
+    SymVar,
+    UnsatisfiableError,
+    WILDCARD,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    solve,
+)
+from repro.solver.terms import Offset
+
+
+X = SymVar("x")
+Y = SymVar("y")
+Z = SymVar("z")
+
+
+class TestBasicSatisfiability:
+    def test_equality_with_constant(self):
+        model = solve([eq(X, 3)])
+        assert model.value_of("x") == 3
+
+    def test_chained_equalities(self):
+        model = solve([eq(X, Y), eq(Y, Z), eq(Z, 7)])
+        assert model.value_of("x") == 7
+        assert model.value_of("y") == 7
+
+    def test_conflicting_equalities_are_unsat(self):
+        assert solve([eq(X, 3), eq(X, 4)]) is None
+
+    def test_conflict_through_variable_chain(self):
+        assert solve([eq(X, Y), eq(X, 3), eq(Y, 4)]) is None
+
+    def test_disequality(self):
+        model = solve([eq(X, Y), ne(Y, 3), eq(X, 5)])
+        assert model.value_of("y") == 5
+
+    def test_strict_inequalities(self):
+        model = solve([gt(X, 2), lt(X, 4)])
+        assert model.value_of("x") == 3
+
+    def test_non_strict_inequalities(self):
+        model = solve([ge(X, 10), le(X, 10)])
+        assert model.value_of("x") == 10
+
+    def test_unsatisfiable_interval(self):
+        assert solve([gt(X, 5), lt(X, 5)]) is None
+
+    def test_paper_example_from_section_3_4(self):
+        """A(x,y):-B(x),C(x,y),x+y>1,x>0 with requirement A0.y == 2."""
+        a_x, a_y = SymVar("A0.x"), SymVar("A0.y")
+        b_x = SymVar("B0.x")
+        c_x, c_y = SymVar("C0.x"), SymVar("C0.y")
+        model = solve([
+            eq(a_y, 2),
+            eq(b_x, c_x),
+            gt(b_x, 0),
+            gt(Offset(c_x, 0), 1 - 2),     # x + y > 1 with y == 2  ->  x > -1
+            eq(a_x, c_x),
+            eq(a_y, c_y),
+        ])
+        assert model is not None
+        assert model.value_of("A0.y") == 2
+        assert model.value_of("C0.y") == 2
+        assert model.value_of("B0.x") == model.value_of("C0.x")
+        assert model.value_of("B0.x") > 0
+
+    def test_repair_constant_change_pool(self):
+        """The Q1 pool: Const0.Val must equal the desired switch id 3."""
+        const_val = SymVar("Const0.Val")
+        swi = SymVar("Swi")
+        model = solve([eq(swi, 3), eq(const_val, swi)])
+        assert model.value_of("Const0.Val") == 3
+
+    def test_string_values(self):
+        rule = SymVar("Const0.Rul")
+        model = solve([eq(rule, "r7")])
+        assert model.value_of("Const0.Rul") == "r7"
+
+    def test_wildcard_matches_everything(self):
+        model = solve([eq(X, WILDCARD), eq(X, 5)])
+        assert model is not None
+
+    def test_empty_pool_is_trivially_sat(self):
+        assert solve([]) == Model()
+
+    def test_offset_terms(self):
+        model = solve([eq(Offset(X, 1), 5)])
+        assert model.value_of("x") == 4
+
+    def test_require_model_raises_on_unsat(self):
+        with pytest.raises(UnsatisfiableError):
+            Solver([eq(X, 1), eq(X, 2)]).require_model()
+
+
+class TestImplications:
+    def test_primary_key_implication_satisfied(self):
+        d_x, d_y = SymVar("D.x"), SymVar("D.y")
+        model = solve([
+            eq(d_x, 9),
+            Implication((eq(d_x, 9),), (eq(d_y, 1),)),
+        ])
+        assert model.value_of("D.y") == 1
+
+    def test_conflicting_key_implications_unsat(self):
+        """The paper's example: D0(9,1) and D1(9,2) cannot co-exist."""
+        d_x, d_y = SymVar("D.x"), SymVar("D.y")
+        constraints = [
+            eq(d_x, 9),
+            Implication((eq(d_x, 9),), (eq(d_y, 1),)),
+            Implication((eq(d_x, 9),), (eq(d_y, 2),)),
+        ]
+        assert solve(constraints) is None
+
+    def test_implication_with_false_antecedent_holds(self):
+        d_x, d_y = SymVar("D.x"), SymVar("D.y")
+        model = solve([
+            eq(d_x, 5),
+            Implication((eq(d_x, 9),), (eq(d_y, 1),)),
+            eq(d_y, 7),
+        ])
+        assert model.value_of("D.y") == 7
+
+
+class TestNegation:
+    def test_negation_finds_breaking_value(self):
+        """Green repair of Figure 7: constant Z with constraint 1 == Z; the
+        negation yields a value different from 1."""
+        z = SymVar("Z")
+        solver = Solver([eq(1, z)])
+        result = solver.solve_negation()
+        assert result is not None
+        model, violated = result
+        assert model.value_of("Z") != 1
+        assert violated == eq(1, z)
+
+    def test_negation_of_inequality(self):
+        solver = Solver([gt(X, 5)])
+        model, _ = solver.solve_negation()
+        assert model.value_of("x") <= 5
+
+    def test_negation_none_when_trivially_empty(self):
+        assert Solver([]).solve_negation() is None
+
+
+class TestCandidateHints:
+    def test_extra_candidates_are_used(self):
+        solver = Solver([ne(X, 0), ne(X, 1), ne(X, 2), ne(X, 3)])
+        solver.add_candidates(X, [42])
+        model = solver.solve()
+        assert model.value_of("x") == 42
+
+    def test_candidates_respect_constraints(self):
+        solver = Solver([eq(X, 3)])
+        solver.add_candidates(X, [99])
+        assert solver.solve().value_of("x") == 3
+
+
+class TestConstraintEvaluation:
+    def test_comparison_str(self):
+        assert str(eq(X, 3)) == "x == 3"
+
+    def test_negated_operators(self):
+        assert eq(X, 1).negated().op == "!="
+        assert lt(X, 1).negated().op == ">="
+        assert ge(X, 1).negated().op == "<"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("=", X, 1)
+
+    def test_evaluate_partial_assignment_returns_none(self):
+        assert eq(X, Y).evaluate({X: 1}) is None
+
+    def test_incomparable_types_ordered_comparison_is_false(self):
+        assert gt(X, 5).evaluate({X: "s3"}) is False
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_solution_of_interval_always_within_bounds(self, lo, hi):
+        solver = Solver([ge(X, lo), le(X, hi)])
+        model = solver.solve()
+        if lo <= hi:
+            assert model is not None
+            assert lo <= model.value_of("x") <= hi
+        else:
+            assert model is None
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_model_always_satisfies_disequalities(self, forbidden):
+        constraints = [ne(X, value) for value in forbidden]
+        model = Solver(constraints).solve()
+        assert model is not None
+        assert model.value_of("x") not in forbidden
+
+    @given(st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_equality_model_is_exact(self, value):
+        model = Solver([eq(X, value), eq(Y, X)]).solve()
+        assert model.value_of("x") == value
+        assert model.value_of("y") == value
