@@ -1,0 +1,113 @@
+"""Microbenchmarks for the NDlog engine hot paths: join, insert, delete.
+
+The indexed/incremental engine (:class:`repro.ndlog.Engine`) is compared
+against the scan-based reference evaluator (:class:`repro.ndlog.NaiveEngine`)
+on three workloads:
+
+* **join/insert** — a two-atom join where every trigger probes a selective
+  index bucket (the naive engine copies and scans the whole opposite table
+  per insertion, O(n^2) overall);
+* **delete** — retracting base tuples one by one (the naive engine recomputes
+  the entire derived set per retraction, the indexed engine underives only
+  the downstream cone).
+
+The helpers are imported by ``tests/ndlog/test_engine_micro_smoke.py``, which
+runs them at small sizes on every test run so perf regressions in the engine
+fail fast instead of surfacing weeks later in the Figure 9/10 benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.ndlog import Engine, NaiveEngine, NDTuple, make_tuple, parse_program
+
+JOIN_PROGRAM = "r J(@X,A,C) :- R(@X,A,B), S(@X,B,C)."
+
+DELETE_PROGRAM = (
+    "r1 B(@X,P) :- A(@X,P).\n"
+    "r2 C(@X,P) :- B(@X,P), K(@X,P).\n"
+)
+
+#: Sizes used by the pytest-benchmark invocations below.
+BENCH_JOIN_SIZE = 400
+BENCH_DELETE_SIZE = 250
+
+#: Small sizes used by the smoke test wired into the regular test suite.
+SMOKE_JOIN_SIZE = 120
+SMOKE_DELETE_SIZE = 60
+
+
+def join_workload(n: int) -> List[NDTuple]:
+    """n S-tuples followed by n R-tuples; each R joins exactly one S."""
+    tuples = [make_tuple("S", "n1", i, i * 3) for i in range(n)]
+    tuples += [make_tuple("R", "n1", f"a{i}", i) for i in range(n)]
+    return tuples
+
+
+def run_insert_workload(engine_cls, n: int) -> Tuple[float, frozenset]:
+    """Insert the join workload one tuple at a time (the controller pattern).
+
+    Returns (elapsed seconds, derived tuple set) so callers can both time the
+    run and check the two engines agree.
+    """
+    engine = engine_cls(parse_program(JOIN_PROGRAM))
+    started = time.perf_counter()
+    for tup in join_workload(n):
+        engine.insert(tup)
+    elapsed = time.perf_counter() - started
+    return elapsed, frozenset(engine.database.derived_tuples())
+
+
+def run_delete_workload(engine_cls, n: int) -> Tuple[float, frozenset]:
+    """Insert a derivation chain, then retract every other A tuple."""
+    engine = engine_cls(parse_program(DELETE_PROGRAM))
+    engine.insert_many([make_tuple("A", "n1", i) for i in range(n)]
+                       + [make_tuple("K", "n1", i) for i in range(n)])
+    started = time.perf_counter()
+    for i in range(0, n, 2):
+        engine.remove(make_tuple("A", "n1", i))
+    elapsed = time.perf_counter() - started
+    return elapsed, frozenset(engine.database.derived_tuples())
+
+
+def compare_engines(runner, n: int) -> Tuple[float, float, bool]:
+    """Run one workload on both engines; return (indexed, naive, identical)."""
+    indexed_elapsed, indexed_result = runner(Engine, n)
+    naive_elapsed, naive_result = runner(NaiveEngine, n)
+    return indexed_elapsed, naive_elapsed, indexed_result == naive_result
+
+
+def _print_row(label, n, indexed_elapsed, naive_elapsed, identical):
+    speedup = naive_elapsed / indexed_elapsed if indexed_elapsed else float("inf")
+    print(f"{label:>8} {n:>6} {indexed_elapsed:>10.4f} {naive_elapsed:>10.4f} "
+          f"{speedup:>8.1f}x {'ok' if identical else 'MISMATCH'}")
+
+
+def test_engine_micro_join_insert(benchmark):
+    from conftest import run_once
+
+    def run():
+        return compare_engines(run_insert_workload, BENCH_JOIN_SIZE)
+
+    indexed_elapsed, naive_elapsed, identical = run_once(benchmark, run)
+    print("\nEngine microbenchmark (join/insert):")
+    print(f"{'workload':>8} {'n':>6} {'indexed':>10} {'naive':>10} {'speedup':>9}")
+    _print_row("join", BENCH_JOIN_SIZE, indexed_elapsed, naive_elapsed, identical)
+    assert identical
+    assert indexed_elapsed < naive_elapsed
+
+
+def test_engine_micro_delete(benchmark):
+    from conftest import run_once
+
+    def run():
+        return compare_engines(run_delete_workload, BENCH_DELETE_SIZE)
+
+    indexed_elapsed, naive_elapsed, identical = run_once(benchmark, run)
+    print("\nEngine microbenchmark (delete):")
+    print(f"{'workload':>8} {'n':>6} {'indexed':>10} {'naive':>10} {'speedup':>9}")
+    _print_row("delete", BENCH_DELETE_SIZE, indexed_elapsed, naive_elapsed, identical)
+    assert identical
+    assert indexed_elapsed < naive_elapsed

@@ -118,10 +118,10 @@ class _RuleDeltaChecker:
         if engine is None:
             return frozenset()
         derived = engine.insert(packet_tuple)
-        # Keep the delta engine stateless across probes: remove whatever this
+        # Keep the delta engine stateless across probes: consume whatever this
         # packet derived (the transient PacketIn removes itself).
         for tup in derived:
-            engine.database.remove(tup)
+            engine.consume(tup)
         return frozenset(derived)
 
 
@@ -133,6 +133,11 @@ class MultiQueryReport(BacktestReport):
     candidate_evaluations: int = 0
 
     def sharing_ratio(self) -> float:
+        """Fraction of packet×candidate decisions served by the shared trunk.
+
+        Each (packet, candidate) pair is counted exactly once, so the two
+        counters always sum to ``len(trace) * len(candidates)``.
+        """
         total = self.shared_evaluations + self.candidate_evaluations
         return self.shared_evaluations / total if total else 0.0
 
@@ -147,26 +152,27 @@ class _SharedResponseController:
     """
 
     def __init__(self, scenario, base_controller, base_cache,
-                 candidate_controller, checker, static_tuples, counters):
+                 candidate_controller, checker, static_tuples):
         self.scenario = scenario
         self.base_controller = base_controller
         self.base_cache = base_cache
         self.candidate_controller = candidate_controller
         self.checker = checker
         self.static_tuples = static_tuples
-        self.counters = counters
         self.name = f"shared({candidate_controller.name})"
 
     def on_start(self, network):
         return self.candidate_controller.on_start(network)
 
     def handle_packet_in(self, event):
+        # Sharing statistics are accounted once per packet×candidate in
+        # MultiQueryBacktester.evaluate_all; counting again here (a packet
+        # can raise several PacketIns along its path) double-counted
+        # decisions and skewed MultiQueryReport.sharing_ratio().
         packet_tuple = self.scenario.packet_in_tuple(event.switch_id, event.packet,
                                                      in_port=event.in_port)
         if self.checker.affects(packet_tuple, self.static_tuples):
-            self.counters["candidate"] += 1
             return self.candidate_controller.handle_packet_in(event)
-        self.counters["shared"] += 1
         key = (event.switch_id, packet_tuple.values)
         if key not in self.base_cache:
             self.base_cache[key] = self.base_controller.handle_packet_in(event)
@@ -204,7 +210,7 @@ class MultiQueryBacktester(Backtester):
                 removed_tuples=repaired.removed_tuples)
             shared = _SharedResponseController(
                 self.scenario, base_controller, base_cache,
-                candidate_controller, checker, static_tuples, counters)
+                candidate_controller, checker, static_tuples)
             simulator = NetworkSimulator(
                 topology, shared,
                 require_packet_out=self.scenario.require_packet_out,
@@ -241,6 +247,7 @@ class MultiQueryBacktester(Backtester):
                 accepted=accepted, notes=candidate.notes))
         report.shared_evaluations = counters["shared"]
         report.candidate_evaluations = counters["candidate"]
+        report.packet_count = len(trace)
         report.elapsed_seconds = _time.perf_counter() - started
         return report
 

@@ -58,6 +58,8 @@ class BacktestReport:
     baseline: TrafficStats
     results: List[BacktestResult] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Number of trace packets each candidate was evaluated against.
+    packet_count: int = 0
 
     def accepted(self) -> List[BacktestResult]:
         return [r for r in self.results if r.accepted]
@@ -153,6 +155,7 @@ class Backtester:
     def evaluate_all(self, candidates: Sequence[RepairCandidate]) -> BacktestReport:
         started = _time.perf_counter()
         report = BacktestReport(baseline=self.baseline())
+        report.packet_count = len(self._trace())
         for candidate in candidates:
             report.results.append(self.evaluate(candidate))
         report.elapsed_seconds = _time.perf_counter() - started

@@ -203,10 +203,10 @@ class NDlogController(Controller):
             if forward_ports:
                 messages.append(PacketOut(event.switch_id, forward_ports[0],
                                           event.packet))
-        # Packet-out tuples are transient messages: drop them from the engine
-        # database so the next PacketIn can derive (and emit) them again.
+        # Packet-out tuples are one-shot messages: consume them so they do
+        # not accumulate in the engine database between PacketIns.
         for stale in list(self.engine.tuples(self.mapping.packet_out_table)):
-            self.engine.database.remove(stale)
+            self.engine.consume(stale)
         return messages
 
     # ------------------------------------------------------------------

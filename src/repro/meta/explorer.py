@@ -47,6 +47,7 @@ from ..repair.candidates import (
     deduplicate,
 )
 from ..solver import Comparison, SymVar, eq
+from ..solver.constraints import _compare as _ground_compare
 from .constraints import ConstraintPool
 from .costs import CostModel
 from .forest import EXIST, MetaForest, MetaTree, MetaVertex, NEXIST
@@ -163,6 +164,22 @@ class MetaProvenanceExplorer:
         self.max_constant_variants = max_constant_variants
         self.max_fix_combinations = max_fix_combinations
         self.enable_retarget_tasks = enable_retarget_tasks
+        self._history_value_hints: Optional[List[object]] = None
+        self._program_constant_hints: Optional[List[object]] = None
+        self._constant_values_cache: Dict[Tuple, List[object]] = {}
+
+    def _solver_value_hints(self) -> List[object]:
+        """History values usable as solver hints (computed once per explorer;
+        rebuilding this list per selection dominated large-program runs)."""
+        if self._history_value_hints is None:
+            self._history_value_hints = [
+                v for v in self.history.all_values() if isinstance(v, (int, str))]
+        return self._history_value_hints
+
+    def _constant_hints(self) -> List[object]:
+        if self._program_constant_hints is None:
+            self._program_constant_hints = list(self.meta_program.program_constants())
+        return self._program_constant_hints
 
     # ==================================================================
     # Negative symptoms (missing tuples)
@@ -485,7 +502,16 @@ class MetaProvenanceExplorer:
         solution); further values are taken from the history and from other
         constants in the program, mirroring how the paper's prototype seeds
         its solver with logged values.
+
+        The result only depends on ``(op, side, other_value)`` — the hint
+        pools are fixed per explorer — so it is memoised on that key (pad
+        rules in large programs repeat the same selections hundreds of
+        times).
         """
+        cache_key = (op, side, other_value)
+        cached = self._constant_values_cache.get(cache_key)
+        if cached is not None:
+            return cached
         symbol = SymVar(f"Const.{rule.name}.s{sel_index}.Val")
         pool = ConstraintPool()
         if side == "right":
@@ -495,8 +521,8 @@ class MetaProvenanceExplorer:
         hints: List[object] = []
         if isinstance(other_value, int):
             hints.extend([other_value, other_value + 1, other_value - 1])
-        hints.extend(v for v in self.history.all_values() if isinstance(v, (int, str)))
-        hints.extend(self.meta_program.program_constants())
+        hints.extend(self._solver_value_hints())
+        hints.extend(self._constant_hints())
         pool.hint(symbol, hints)
         values: List[object] = []
         model = pool.solve()
@@ -509,10 +535,13 @@ class MetaProvenanceExplorer:
                 break
             if hint in values:
                 continue
-            check = (Comparison(op, other_value, hint) if side == "right"
-                     else Comparison(op, hint, other_value))
-            if check.evaluate({}) is True:
+            # Ground comparison — equivalent to Comparison(...).evaluate({})
+            # without allocating a constraint object per hint.
+            check = (_ground_compare(op, other_value, hint) if side == "right"
+                     else _ground_compare(op, hint, other_value))
+            if check is True:
                 values.append(hint)
+        self._constant_values_cache[cache_key] = values
         return values
 
     # -- assignment fixes ----------------------------------------------------
@@ -590,17 +619,30 @@ class MetaProvenanceExplorer:
     def _pool_satisfiable(self, tree: MetaTree, goal: MissingTupleGoal, rule: Rule,
                           env: Bindings, edits: Sequence[Edit],
                           stats: ExplorationStats) -> bool:
-        """Build the tree's constraint pool and check satisfiability."""
+        """Build the tree's constraint pool and check satisfiability.
+
+        Every constraint here is ``var == constant``, so satisfiability is a
+        direct consistency check: no variable may be forced to two distinct
+        non-wildcard values (the wildcard compares equal to everything, like
+        in the solver).  The pool is still populated for later tree use.
+        """
         pool = tree.pool
+        assigned: Dict[str, object] = {}
+        satisfiable = True
+        def bind(name, value):
+            nonlocal satisfiable
+            pool.add(eq(SymVar(name), value))
+            if value == WILDCARD:
+                return
+            previous = assigned.setdefault(name, value)
+            if previous != value:
+                satisfiable = False
         for index, value in goal.constraints:
             arg = rule.head.args[index]
             if isinstance(arg, Var):
-                pool.add(eq(SymVar(f"{rule.name}.{arg.name}"), value))
+                bind(f"{rule.name}.{arg.name}", value)
         for var_name, value in env.items():
-            pool.add(eq(SymVar(f"{rule.name}.{var_name}"), value))
-        satisfiable = pool.solve() is not None
-        stats.solver_invocations += pool.solver_invocations
-        stats.solver_seconds += pool.solve_seconds
+            bind(f"{rule.name}.{var_name}", value)
         return satisfiable
 
     # ------------------------------------------------------------------
@@ -775,8 +817,7 @@ class MetaProvenanceExplorer:
                     pool.add(Comparison(selection.op, other_value, symbol))
                 else:
                     pool.add(Comparison(selection.op, symbol, other_value))
-                pool.hint(symbol, [v for v in self.history.all_values()
-                                   if isinstance(v, (int, str))])
+                pool.hint(symbol, self._solver_value_hints())
                 negation = pool.solve_negation()
                 stats.solver_invocations += pool.solver_invocations
                 stats.solver_seconds += pool.solve_seconds
@@ -846,8 +887,7 @@ class MetaProvenanceExplorer:
                 if left is None or right is None:
                     continue
                 pool.add(Comparison(selection.op, left, right))
-                pool.hint(symbol, [v for v in self.history.all_values()
-                                   if isinstance(v, (int, str))])
+                pool.hint(symbol, self._solver_value_hints())
                 negation = pool.solve_negation()
                 stats.solver_invocations += pool.solver_invocations
                 stats.solver_seconds += pool.solve_seconds

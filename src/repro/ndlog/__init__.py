@@ -32,6 +32,7 @@ from .ast import (
 )
 from .engine import Engine, evaluate_program
 from .errors import EvaluationError, NDlogError, ParseError, SchemaError
+from .naive import NaiveEngine
 from .events import (
     APPEAR,
     DELETE,
@@ -52,7 +53,7 @@ __all__ = [
     "Assignment", "Atom", "BinOp", "COMPARISON_OPERATORS", "Const",
     "Expression", "FuncCall", "Program", "Rule", "Selection", "Var",
     "WILDCARD", "assign", "atom", "comparison", "const", "var",
-    "Engine", "evaluate_program",
+    "Engine", "NaiveEngine", "evaluate_program",
     "EvaluationError", "NDlogError", "ParseError", "SchemaError",
     "APPEAR", "DELETE", "DERIVE", "DISAPPEAR", "INSERT", "RECEIVE", "SEND",
     "UNDERIVE", "DerivationRecord", "EngineEvent",

@@ -1,4 +1,4 @@
-"""Semi-naive evaluation engine for NDlog programs.
+"""Indexed, incrementally-maintained evaluation engine for NDlog programs.
 
 The engine stores tuples in a :class:`~repro.ndlog.tuples.Database`, evaluates
 rules to a fixpoint whenever base tuples are inserted, and keeps two kinds of
@@ -9,17 +9,63 @@ history used by the provenance subsystem:
 * the set of `DerivationRecord`s, one per successful rule firing, storing
   the head tuple, the body tuples and the variable bindings.
 
+Evaluation strategy
+-------------------
+
+Rules are compiled to small *plans* when a program is installed
+(:meth:`Engine.set_program`).  A plan precomputes, per body atom, the
+constant arguments (checked against tuple values before any binding
+environment is allocated), the variable/expression argument layout, and —
+per selection predicate — the variable set it needs.  During a join the
+engine probes the database's ``(column, value)`` hash indexes with the
+equality constraints implied by constants and already-bound variables, so
+each body atom enumerates only the candidate tuples that can possibly match
+instead of scanning (and copying) the whole table.  Selection predicates are
+pushed down: each one is evaluated as soon as its variables are bound, which
+prunes join branches early.  The fixpoint itself runs off a deque-based
+worklist, and duplicate rule firings are detected with a per-(rule, head)
+hash set rather than a linear scan of the derivation history.
+
+Deletion semantics
+------------------
+
+:meth:`Engine.remove` retracts a base tuple incrementally (DRed-style)
+instead of recomputing the derived set from scratch.  The engine maintains,
+for every derived tuple, the set of *supports* — ``(rule, body tuples)``
+pairs that currently justify it — plus a reverse index from each tuple to
+the supports it participates in.  Removal over-deletes the downstream cone
+of the retracted tuple (skipping base tuples: a tuple can be base *and*
+derived at once, and retracting one base tuple never evicts another), then
+re-derives members of the cone that still have a valid alternative support,
+propagating re-derivations to a quiet fixpoint.  Tuples removed directly
+through ``engine.database.remove`` (e.g. transient message cleanup performed
+by controllers) bypass this bookkeeping on purpose: their supports stay
+registered, so replaying the exact same firing does not re-derive them —
+matching the historical message semantics of the event log.
+
+Primary-key (NDlog "update") tables interact with deletion in two ways: a
+key update that evicts a derived tuple also forgets its supports (so the
+same firing can later re-derive it), and a deletion whose cone touches a
+keyed table falls back to a full recompute, since freeing a key can make a
+previously evicted tuple derivable again.  When several live derivations
+assign *different* values to one key, the surviving tuple is
+evaluation-order dependent — a property of the update semantics itself,
+shared with the recompute-based reference evaluator.
+
 The engine is deliberately single-threaded and deterministic: logical time is
 a simple counter, and rule/body iteration order is the program order.  This
-determinism is what makes backtesting reproducible.
+determinism is what makes backtesting reproducible.  A scan-based reference
+implementation with identical insert-time semantics is kept in
+:mod:`repro.ndlog.naive` and is used by the test suite as a cross-check
+oracle.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .ast import Atom, Const, Program, Rule, Var
+from .ast import Atom, Const, Program, Rule, Var, WILDCARD
 from .errors import EvaluationError
 from .events import (
     APPEAR,
@@ -33,8 +79,92 @@ from .events import (
     DerivationRecord,
     EngineEvent,
 )
-from .expr import Bindings, FunctionRegistry, evaluate
+from .expr import Bindings, FunctionRegistry, _compare, evaluate
 from .tuples import Database, NDTuple, TableSchema
+
+
+class _AtomPlan:
+    """Precompiled matching layout of one body atom."""
+
+    __slots__ = ("atom", "table", "arity", "consts", "steps", "var_columns",
+                 "snapshot")
+
+    def __init__(self, atom: Atom, head_table: str):
+        self.atom = atom
+        self.table = atom.table
+        self.arity = atom.arity
+        consts = []
+        steps = []          # ('v', column, name) / ('e', column, expr) in order
+        var_columns = []    # (column, name) for index probes
+        seen_vars = set()
+        for column, arg in enumerate(atom.args):
+            if isinstance(arg, Const):
+                consts.append((column, arg.value))
+            elif isinstance(arg, Var):
+                steps.append(("v", column, arg.name))
+                if arg.name not in seen_vars:
+                    seen_vars.add(arg.name)
+                    var_columns.append((column, arg.name))
+            else:
+                steps.append(("e", column, arg))
+        self.consts = tuple(consts)
+        self.steps = tuple(steps)
+        self.var_columns = tuple(var_columns)
+        # A rule whose head feeds one of its own body tables mutates the set
+        # being iterated mid-fixpoint; snapshot the candidates in that case.
+        self.snapshot = atom.table == head_table
+
+
+class _RulePlan:
+    """Precompiled evaluation plan of one rule."""
+
+    __slots__ = ("rule", "atom_plans", "selection_vars", "assignment_vars",
+                 "pushable", "head_steps", "guards")
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.atom_plans = tuple(_AtomPlan(atom, rule.head.table)
+                                for atom in rule.body)
+        assigned = {a.var for a in rule.assignments}
+        self.selection_vars = tuple(frozenset(s.variables())
+                                    for s in rule.selections)
+        self.assignment_vars = tuple(frozenset(a.expr.variables())
+                                     for a in rule.assignments)
+        # A selection touching an assigned variable must wait for
+        # _finish_rule (the assignment may overwrite a body binding).
+        self.pushable = tuple(not (vars_ & assigned)
+                              for vars_ in self.selection_vars)
+        head_steps = []
+        for arg in rule.head.args:
+            if isinstance(arg, Var):
+                head_steps.append(("v", arg.name))
+            else:
+                head_steps.append(("e", arg))
+        self.head_steps = tuple(head_steps)
+        # Per trigger position: single-variable comparisons against constants
+        # checked directly on the trigger tuple's values, before any binding
+        # environment exists.  guards[pos] = ((column, op, value, var_left,
+        # selection_bit), ...).
+        guards = []
+        for plan in self.atom_plans:
+            first_column = {name: column for column, name in
+                            reversed(plan.var_columns)}
+            entries = []
+            for index, selection in enumerate(rule.selections):
+                if not self.pushable[index]:
+                    continue
+                left, right = selection.left, selection.right
+                if isinstance(left, Var) and isinstance(right, Const):
+                    name, value, var_left = left.name, right.value, True
+                elif isinstance(right, Var) and isinstance(left, Const):
+                    name, value, var_left = right.name, left.value, False
+                else:
+                    continue
+                if name in first_column:
+                    entries.append((first_column[name], selection.op, value,
+                                    var_left, 1 << index))
+            guards.append(tuple(entries))
+        self.guards = tuple(guards)
 
 
 class Engine:
@@ -54,7 +184,21 @@ class Engine:
         self.events: List[EngineEvent] = []
         self.derivations: List[DerivationRecord] = []
         self._derivations_by_head: Dict[NDTuple, List[DerivationRecord]] = defaultdict(list)
-        self._rules_by_body_table: Dict[str, List[Tuple[Rule, int]]] = defaultdict(list)
+        #: Per-(rule, head) bodies already recorded — O(1) duplicate check.
+        self._recorded_bodies: Dict[Tuple[str, NDTuple], Set[Tuple[NDTuple, ...]]] = {}
+        #: Current supports of each derived tuple: {(rule_name, body), ...}.
+        self._supports: Dict[NDTuple, Set[Tuple[str, Tuple[NDTuple, ...]]]] = {}
+        #: Reverse index: tuple -> supports it participates in.
+        self._dependents: Dict[NDTuple, Set[Tuple[NDTuple, str, Tuple[NDTuple, ...]]]] = {}
+        self._plans_by_body_table: Dict[str, List[Tuple[_RulePlan, int]]] = defaultdict(list)
+        self._rule_names: Set[str] = set()
+        #: False after a program swap left derived state without supports;
+        #: the next removal resynchronises with a full recompute.
+        self._incremental_ready = True
+        #: Plan cache for the _match_atom compatibility helper, keyed by
+        #: atom identity (the atom object is kept referenced alongside).
+        self._adhoc_plans: Dict[int, Tuple[Atom, _AtomPlan]] = {}
+        self.database.eviction_hook = self._on_evicted
         self._index_rules()
 
     # ------------------------------------------------------------------
@@ -62,15 +206,28 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _index_rules(self):
-        self._rules_by_body_table.clear()
+        self._plans_by_body_table.clear()
+        self._rule_names = set()
         for rule in self.program.rules:
-            for position, atom in enumerate(rule.body):
-                self._rules_by_body_table[atom.table].append((rule, position))
+            plan = _RulePlan(rule)
+            self._rule_names.add(rule.name)
+            for position in range(len(rule.body)):
+                self._plans_by_body_table[rule.body[position].table].append(
+                    (plan, position))
 
     def set_program(self, program: Program):
-        """Swap in a new program (used when backtesting a repair candidate)."""
+        """Swap in a new program (used when backtesting a repair candidate).
+
+        Support bookkeeping built under the old rules is discarded; the next
+        :meth:`remove` falls back to a full recompute (which rebuilds the
+        supports under the new program) instead of trusting stale entries.
+        """
         self.program = program
         self._index_rules()
+        if self._supports or self._dependents:
+            self._supports.clear()
+            self._dependents.clear()
+            self._incremental_ready = False
 
     def register_schema(self, schema: TableSchema):
         self.database.register_schema(schema)
@@ -129,20 +286,93 @@ class Engine:
         return derived
 
     def remove(self, tup: NDTuple) -> List[NDTuple]:
-        """Remove a base tuple and underive anything no longer supported.
+        """Retract a base tuple and underive its unsupported downstream cone.
 
-        Returns the list of derived tuples that disappeared.  The engine
-        recomputes the derived set from the remaining base tuples (a simple,
-        correct strategy for the program sizes in the paper's evaluation).
+        Returns the list of derived tuples that disappeared.  Deletion is
+        incremental (DRed-style): only tuples reachable from ``tup`` through
+        the current support graph are reconsidered, and every tuple with a
+        surviving alternative derivation — or a base flag of its own — stays.
         """
         if not self.database.contains(tup):
             return []
         schema = self.database.schema(tup.table)
         node = tup.location(schema)
-        self.database.remove(tup)
         self._log(DELETE, tup, node=node)
         self._log(DISAPPEAR, tup, node=node)
-        return self._recompute_derived()
+        self.database.remove(tup)
+        if not self._incremental_ready:
+            # A program swap invalidated the support graph: recompute the
+            # derived set from the remaining base tuples under the current
+            # rules, rebuilding the supports along the way.
+            return self._recompute_and_rebuild_supports()
+
+        # Phase 1: over-delete everything transitively supported via ``tup``.
+        overdeleted: List[NDTuple] = [tup]
+        overdeleted_set: Set[NDTuple] = {tup}
+        touched_base: Set[NDTuple] = set()
+        keyed_table_touched = self._in_keyed_table(tup)
+        queue = deque([tup])
+        while queue:
+            current = queue.popleft()
+            for head, rule_name, body in self._dependents.pop(current, ()):
+                supports = self._supports.get(head)
+                if supports is not None:
+                    supports.discard((rule_name, body))
+                    if not supports:
+                        del self._supports[head]
+                if head in overdeleted_set or not self.database.contains(head):
+                    continue
+                if self.database.is_base(head):
+                    # Base tuples never leave because a derivation died.
+                    touched_base.add(head)
+                    continue
+                self.database.remove(head)
+                overdeleted.append(head)
+                overdeleted_set.add(head)
+                keyed_table_touched = keyed_table_touched or self._in_keyed_table(head)
+                queue.append(head)
+
+        # Phase 2: re-derive over-deleted tuples that still have a valid
+        # alternative support, and propagate quietly.
+        worklist: List[NDTuple] = []
+        for head in overdeleted:
+            if self._has_valid_support(head):
+                self.database.insert(head, derived=True)
+                worklist.append(head)
+        for head in touched_base:
+            if not self._has_valid_support(head):
+                self.database.clear_derived_flag(head)
+        if worklist:
+            self._rederive_fixpoint(worklist)
+
+        disappeared = []
+        for head in overdeleted[1:]:
+            if not self.database.contains(head):
+                head_schema = self.database.schema(head.table)
+                head_node = head.location(head_schema)
+                self._log(UNDERIVE, head, node=head_node)
+                self._log(DISAPPEAR, head, node=head_node)
+                disappeared.append(head)
+        if keyed_table_touched:
+            # Deleting a tuple of a primary-key table can free a key that a
+            # previously evicted tuple (whose supports the eviction hook
+            # dropped) may reoccupy; only a recompute can find those, so fall
+            # back to it — the cheap incremental path covers the common
+            # keyless tables.
+            extra = self._recompute_and_rebuild_supports()
+            disappeared.extend(t for t in extra if t not in disappeared)
+        return disappeared
+
+    def consume(self, tup: NDTuple) -> bool:
+        """Drop a message tuple from the database without underiving anything.
+
+        Used by controllers for derived tuples that act as one-shot messages
+        (e.g. ``PacketOut``): the tuple leaves the store, but its supports and
+        history stay registered, so replaying the exact same firing does not
+        re-emit it.  Contrast with :meth:`remove`, which incrementally
+        maintains the derived set.
+        """
+        return self.database.remove(tup)
 
     # ------------------------------------------------------------------
     # Queries
@@ -166,46 +396,109 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _fixpoint(self, delta: Sequence[NDTuple]) -> List[NDTuple]:
-        worklist = list(delta)
+        worklist = deque(delta)
         newly_derived: List[NDTuple] = []
+        supports = self._supports
+        dependents = self._dependents
+        database = self.database
         while worklist:
-            trigger = worklist.pop(0)
-            for rule, position in self._rules_by_body_table.get(trigger.table, ()):
-                for head, body, bindings in self._fire_rule(rule, position, trigger):
-                    record = self._record_derivation(rule, head, body, bindings)
-                    if record is None:
+            trigger = worklist.popleft()
+            for plan, position in self._plans_by_body_table.get(trigger.table, ()):
+                for head, body, bindings in self._fire_rule(plan, position, trigger):
+                    key = (plan.rule.name, body)
+                    head_supports = supports.setdefault(head, set())
+                    if key in head_supports:
+                        # Exact duplicate firing: nothing new to derive.
                         continue
-                    is_new = not self.database.contains(head)
-                    self.database.insert(head, derived=True)
+                    head_supports.add(key)
+                    entry = (head, plan.rule.name, body)
+                    for member in body:
+                        dependents.setdefault(member, set()).add(entry)
+                    is_new = not database.contains(head)
+                    record = self._record_derivation(plan.rule, head, body, bindings)
+                    if record is None and is_new:
+                        # Re-derivation of a previously deleted tuple: the
+                        # historical record already exists, but the tuple
+                        # reappears now.
+                        self._log(APPEAR, head, node=self._head_node(plan.rule, head),
+                                  rule=plan.rule.name)
+                    database.insert(head, derived=True)
                     if is_new:
                         newly_derived.append(head)
                         worklist.append(head)
         return newly_derived
 
-    def _recompute_derived(self) -> List[NDTuple]:
-        """Recompute the derived set from base tuples after a deletion."""
+    def _rederive_fixpoint(self, delta: Sequence[NDTuple]):
+        """Quiet fixpoint used by the deletion re-derivation phase.
+
+        Re-registers supports and re-inserts tuples without appending to the
+        event log or the derivation history (matching the silent recompute of
+        the reference evaluator).
+        """
+        worklist = deque(delta)
+        supports = self._supports
+        dependents = self._dependents
+        database = self.database
+        while worklist:
+            trigger = worklist.popleft()
+            for plan, position in self._plans_by_body_table.get(trigger.table, ()):
+                for head, body, _bindings in self._fire_rule(plan, position, trigger):
+                    key = (plan.rule.name, body)
+                    head_supports = supports.setdefault(head, set())
+                    fresh_support = key not in head_supports
+                    if fresh_support:
+                        head_supports.add(key)
+                        entry = (head, plan.rule.name, body)
+                        for member in body:
+                            dependents.setdefault(member, set()).add(entry)
+                    if not database.contains(head):
+                        database.insert(head, derived=True)
+                        worklist.append(head)
+                    elif fresh_support:
+                        database.insert(head, derived=True)
+
+    def _on_evicted(self, tup: NDTuple):
+        """A primary-key update evicted ``tup``: forget its supports so the
+        same firing can re-derive it once the key is free again."""
+        self._supports.pop(tup, None)
+
+    def _in_keyed_table(self, tup: NDTuple) -> bool:
+        schema = self.database.schema(tup.table)
+        return schema is not None and bool(schema.primary_key)
+
+    def _recompute_and_rebuild_supports(self) -> List[NDTuple]:
+        """Full recompute of the derived set (post-``set_program`` fallback).
+
+        Derived flags are cleared (base flags are untouched — removing one
+        base tuple never evicts another), the quiet fixpoint re-derives
+        everything reachable from the remaining base tuples under the current
+        program, and the support graph is rebuilt from scratch.
+        """
         before = self.database.derived_tuples()
         for tup in before:
-            self.database.remove(tup)
-        base = list(self.database.base_tuples())
-        # Re-run the fixpoint without logging fresh INSERT events.
-        recomputed: Set[NDTuple] = set()
-        worklist = list(base)
-        while worklist:
-            trigger = worklist.pop(0)
-            for rule, position in self._rules_by_body_table.get(trigger.table, ()):
-                for head, body, bindings in self._fire_rule(rule, position, trigger):
-                    if not self.database.contains(head):
-                        self.database.insert(head, derived=True)
-                        recomputed.add(head)
-                        worklist.append(head)
-        disappeared = [t for t in before if t not in recomputed and not self.database.contains(t)]
-        for tup in disappeared:
-            schema = self.database.schema(tup.table)
-            node = tup.location(schema)
-            self._log(UNDERIVE, tup, node=node)
-            self._log(DISAPPEAR, tup, node=node)
+            self.database.clear_derived_flag(tup)
+        self._supports.clear()
+        self._dependents.clear()
+        self._rederive_fixpoint(list(self.database.base_tuples()))
+        self._incremental_ready = True
+        disappeared = []
+        for tup in before:
+            if not self.database.contains(tup):
+                schema = self.database.schema(tup.table)
+                self._log(UNDERIVE, tup, node=tup.location(schema))
+                self._log(DISAPPEAR, tup, node=tup.location(schema))
+                disappeared.append(tup)
         return disappeared
+
+    def _has_valid_support(self, head: NDTuple) -> bool:
+        """Does any registered support of ``head`` still hold entirely?"""
+        database = self.database
+        for rule_name, body in self._supports.get(head, ()):
+            if rule_name not in self._rule_names:
+                continue
+            if all(database.contains(member) for member in body):
+                return True
+        return False
 
     def _record_derivation(self, rule: Rule, head: NDTuple,
                            body: Tuple[NDTuple, ...], bindings: Dict[str, object]):
@@ -213,10 +506,11 @@ class Engine:
             raise EvaluationError(
                 f"derivation limit of {self.max_derivations} exceeded; "
                 "the program is probably not terminating")
-        # Avoid recording the exact same firing twice.
-        for existing in self._derivations_by_head.get(head, ()):
-            if existing.rule == rule.name and existing.body == body:
-                return None
+        # Avoid recording the exact same firing twice (O(1) set lookup).
+        recorded = self._recorded_bodies.setdefault((rule.name, head), set())
+        if body in recorded:
+            return None
+        recorded.add(body)
         record = DerivationRecord(
             rule=rule.name,
             head=head,
@@ -247,97 +541,188 @@ class Engine:
     # Rule firing
     # ------------------------------------------------------------------
 
-    def _fire_rule(self, rule: Rule, trigger_position: int, trigger: NDTuple):
-        """Yield (head, body_tuples, bindings) for every firing of ``rule``
+    def _fire_rule(self, plan: _RulePlan, trigger_position: int, trigger: NDTuple):
+        """Yield (head, body_tuples, bindings) for every firing of the rule
         in which the body atom at ``trigger_position`` matches ``trigger``."""
-        initial = self._match_atom(rule.body[trigger_position], trigger, Bindings())
+        atom_plan = plan.atom_plans[trigger_position]
+        values = trigger.values
+        if atom_plan.arity != len(values):
+            return
+        for column, value in atom_plan.consts:
+            if values[column] != value:
+                return
+        # Cheap single-variable selection guards on the raw trigger values.
+        checked = 0
+        for column, op, value, var_left, bit in plan.guards[trigger_position]:
+            bound = values[column]
+            if op == "==":
+                # Inline wildcard-aware equality (the dominant guard shape).
+                if bound != value and bound != WILDCARD and value != WILDCARD:
+                    return
+            else:
+                try:
+                    ok = _compare(op, bound, value) if var_left else _compare(op, value, bound)
+                except EvaluationError:
+                    # Defer to _finish_rule so evaluation errors only surface
+                    # for joins that actually complete.
+                    continue
+                if not ok:
+                    return
+            checked |= bit
+        initial = self._match_plan(atom_plan, trigger, _EMPTY_BINDINGS)
         if initial is None:
             return
-        yield from self._join_remaining(rule, trigger_position, trigger, initial, 0, [])
+        checked = self._push_selections(plan, initial, checked)
+        if checked is None:
+            return
+        yield from self._join_remaining(plan, trigger_position, trigger,
+                                        initial, checked, 0, [])
 
-    def _join_remaining(self, rule, trigger_position, trigger, bindings, atom_index, chosen):
-        if atom_index == len(rule.body):
-            result = self._finish_rule(rule, bindings)
+    def _join_remaining(self, plan, trigger_position, trigger, bindings,
+                        checked, atom_index, chosen):
+        if atom_index == len(plan.atom_plans):
+            result = self._finish_rule(plan, bindings, checked)
             if result is not None:
                 head, final_bindings = result
-                body = tuple(self._ordered_body(rule, trigger_position, trigger, chosen))
+                body = tuple(self._ordered_body(plan, trigger_position, trigger, chosen))
                 yield head, body, final_bindings
             return
         if atom_index == trigger_position:
             yield from self._join_remaining(
-                rule, trigger_position, trigger, bindings, atom_index + 1, chosen)
+                plan, trigger_position, trigger, bindings, checked,
+                atom_index + 1, chosen)
             return
-        atom = rule.body[atom_index]
-        for candidate in self.database.tuples(atom.table):
-            extended = self._match_atom(atom, candidate, bindings)
+        atom_plan = plan.atom_plans[atom_index]
+        # Equality constraints from constants and already-bound variables
+        # select the smallest index bucket to probe.
+        constraints = list(atom_plan.consts)
+        for column, name in atom_plan.var_columns:
+            if name in bindings:
+                constraints.append((column, bindings[name]))
+        candidates = self.database.candidates(atom_plan.table, constraints)
+        if atom_plan.snapshot:
+            candidates = tuple(candidates)
+        for candidate in candidates:
+            extended = self._match_plan(atom_plan, candidate, bindings)
             if extended is None:
                 continue
+            new_checked = self._push_selections(plan, extended, checked)
+            if new_checked is None:
+                continue
             yield from self._join_remaining(
-                rule, trigger_position, trigger, extended, atom_index + 1,
-                chosen + [(atom_index, candidate)])
+                plan, trigger_position, trigger, extended, new_checked,
+                atom_index + 1, chosen + [(atom_index, candidate)])
 
-    def _ordered_body(self, rule, trigger_position, trigger, chosen):
-        by_index = {trigger_position: trigger}
-        by_index.update(dict(chosen))
-        return [by_index[i] for i in range(len(rule.body))]
-
-    def _match_atom(self, atom: Atom, tup: NDTuple, bindings: Bindings) -> Optional[Bindings]:
+    def _match_plan(self, atom_plan: _AtomPlan, tup: NDTuple,
+                    bindings: Dict[str, object]) -> Optional[Dict[str, object]]:
         """Match a body atom against a concrete tuple, extending bindings."""
-        if atom.table != tup.table or atom.arity != tup.arity:
+        values = tup.values
+        if atom_plan.arity != len(values):
             return None
-        new = Bindings(bindings)
-        for arg, value in zip(atom.args, tup.values):
-            if isinstance(arg, Var):
-                if arg.name in new:
-                    if new[arg.name] != value:
-                        return None
-                else:
-                    new[arg.name] = value
-            elif isinstance(arg, Const):
-                if arg.value != value:
+        for column, value in atom_plan.consts:
+            if values[column] != value:
+                return None
+        new = dict(bindings)
+        for kind, column, payload in atom_plan.steps:
+            value = values[column]
+            if kind == "v":
+                existing = new.get(payload, _MISSING)
+                if existing is _MISSING:
+                    new[payload] = value
+                elif existing != value:
                     return None
             else:
                 # Complex expression argument: evaluate if fully bound.
                 try:
-                    computed = evaluate(arg, new, self.functions, rule_name="<atom-arg>")
+                    computed = evaluate(payload, new, self.functions,
+                                        rule_name="<atom-arg>")
                 except EvaluationError:
                     return None
                 if computed != value:
                     return None
         return new
 
-    def _finish_rule(self, rule: Rule, bindings: Bindings):
-        """Evaluate assignments and selections, then build the head tuple."""
-        env = Bindings(bindings)
-        pending_assignments = list(rule.assignments)
-        pending_selections = list(rule.selections)
+    def _push_selections(self, plan: _RulePlan, bindings: Dict[str, object],
+                         checked: int) -> Optional[int]:
+        """Evaluate every not-yet-checked selection whose variables are bound.
+
+        Returns the updated bitmask of checked selections, or ``None`` when a
+        selection is definitely false (the join branch is pruned).  Selections
+        that raise are deferred to :meth:`_finish_rule` so evaluation errors
+        surface only for joins that actually complete.
+        """
+        selections = plan.rule.selections
+        for index, vars_ in enumerate(plan.selection_vars):
+            bit = 1 << index
+            if checked & bit or not plan.pushable[index]:
+                continue
+            if vars_ <= bindings.keys():
+                try:
+                    ok = evaluate(selections[index].expr, bindings,
+                                  self.functions, plan.rule.name)
+                except EvaluationError:
+                    continue
+                if not ok:
+                    return None
+                checked |= bit
+        return checked
+
+    def _ordered_body(self, plan, trigger_position, trigger, chosen):
+        by_index = {trigger_position: trigger}
+        by_index.update(dict(chosen))
+        return [by_index[i] for i in range(len(plan.atom_plans))]
+
+    def _match_atom(self, atom: Atom, tup: NDTuple, bindings: Bindings) -> Optional[Bindings]:
+        """Match a body atom against a concrete tuple (compatibility helper
+        for the provenance layer, which probes historical tuples)."""
+        if atom.table != tup.table:
+            return None
+        cached = self._adhoc_plans.get(id(atom))
+        if cached is None or cached[0] is not atom:
+            cached = (atom, _AtomPlan(atom, ""))
+            self._adhoc_plans[id(atom)] = cached
+        matched = self._match_plan(cached[1], tup, dict(bindings))
+        if matched is None:
+            return None
+        return Bindings(matched)
+
+    def _finish_rule(self, plan: _RulePlan, bindings: Dict[str, object],
+                     checked: int):
+        """Evaluate assignments and remaining selections, build the head."""
+        rule = plan.rule
+        env = dict(bindings)
+        pending_assignments = list(range(len(rule.assignments)))
+        pending_selections = [i for i in range(len(rule.selections))
+                              if not checked >> i & 1]
         progress = True
-        while progress:
+        while progress and (pending_assignments or pending_selections):
             progress = False
-            for assignment in list(pending_assignments):
-                if assignment.expr.variables() <= set(env):
+            for index in list(pending_assignments):
+                if plan.assignment_vars[index] <= env.keys():
+                    assignment = rule.assignments[index]
                     env[assignment.var] = evaluate(
                         assignment.expr, env, self.functions, rule.name)
-                    pending_assignments.remove(assignment)
+                    pending_assignments.remove(index)
                     progress = True
-            for selection in list(pending_selections):
-                if selection.variables() <= set(env):
-                    if not evaluate(selection.expr, env, self.functions, rule.name):
+            for index in list(pending_selections):
+                if plan.selection_vars[index] <= env.keys():
+                    if not evaluate(rule.selections[index].expr, env,
+                                    self.functions, rule.name):
                         return None
-                    pending_selections.remove(selection)
+                    pending_selections.remove(index)
                     progress = True
         if pending_selections or pending_assignments:
             # Unresolvable variables: the rule cannot fire under this binding.
             return None
         head_values = []
-        for arg in rule.head.args:
-            if isinstance(arg, Var):
-                if arg.name not in env:
+        for kind, payload in plan.head_steps:
+            if kind == "v":
+                if payload not in env:
                     return None
-                head_values.append(env[arg.name])
+                head_values.append(env[payload])
             else:
-                head_values.append(evaluate(arg, env, self.functions, rule.name))
-        return NDTuple(rule.head.table, tuple(head_values)), dict(env)
+                head_values.append(evaluate(payload, env, self.functions, rule.name))
+        return NDTuple(rule.head.table, tuple(head_values)), env
 
     # ------------------------------------------------------------------
     # Transient-tuple handling
@@ -348,6 +733,10 @@ class Engine:
             schema = self.database.schema(tup.table)
             if schema is not None and not schema.persistent:
                 self.database.remove(tup)
+
+
+_MISSING = object()
+_EMPTY_BINDINGS: Dict[str, object] = {}
 
 
 def evaluate_program(program: Program, base_tuples: Iterable[NDTuple],

@@ -5,6 +5,14 @@ insertions and deletions of base tuples, derivations and underivations,
 appearances/disappearances in the database, and cross-node message traffic.
 The provenance recorder (:mod:`repro.provenance.recorder`) turns this log
 into the provenance graph of Section 3.1 of the paper.
+
+With incremental deletion (see :mod:`repro.ndlog.engine`), a retraction
+emits DELETE/DISAPPEAR for the retracted base tuple and UNDERIVE/DISAPPEAR
+for every derived tuple of its downstream cone that lost its last support;
+tuples that reappear through an alternative derivation are re-inserted
+silently, exactly like the recompute-based evaluator behaved.  A derived
+tuple re-appearing after deletion logs a fresh APPEAR even when its
+DerivationRecord was already in the history.
 """
 
 from __future__ import annotations

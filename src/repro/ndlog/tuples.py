@@ -5,6 +5,16 @@ tables containing tuples.  Tuples are either *base* tuples, inserted from the
 outside (configuration, packets arriving at border switches), or *derived*
 tuples computed by rules.  This module provides the storage layer; the
 evaluation logic lives in :mod:`repro.ndlog.engine`.
+
+Storage details that the evaluation layer relies on:
+
+* A tuple's base/derived status is kept as a pair of *flags* rather than two
+  overlapping sets: a tuple inserted from the outside and later re-derived by
+  a rule is both base and derived at once, and dropping one flag never evicts
+  the tuple while the other flag remains.
+* Every table maintains secondary hash indexes keyed on ``(column, value)``
+  so joins can probe the tuples matching an already-bound variable instead of
+  scanning (and copying) the whole table.
 """
 
 from __future__ import annotations
@@ -13,6 +23,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from .errors import SchemaError
+
+
+#: Flag bits used by :class:`Database` to track how a tuple entered the store.
+BASE_FLAG = 1
+DERIVED_FLAG = 2
 
 
 @dataclass(frozen=True)
@@ -37,6 +52,14 @@ class TableSchema:
     primary_key: PyTuple[str, ...] = ()
     persistent: bool = True
     location_index: int = 0
+
+    def __post_init__(self):
+        for column in self.primary_key:
+            if column not in self.fields:
+                raise SchemaError(
+                    f"primary key column {column!r} of table {self.name!r} "
+                    f"is not one of its fields {tuple(self.fields)}"
+                )
 
     @property
     def arity(self):
@@ -105,15 +128,21 @@ class Database:
 
     The database distinguishes base tuples (inserted) from derived tuples
     (computed by rules) so that provenance and repair code can tell them
-    apart.  Tuples are globally stored; location is just a value, matching
-    the simulator's "omniscient" view used for offline analysis.
+    apart; a tuple can carry both flags at once.  Tuples are globally stored;
+    location is just a value, matching the simulator's "omniscient" view used
+    for offline analysis.
     """
 
     def __init__(self, schemas: Optional[Dict[str, TableSchema]] = None):
         self._schemas: Dict[str, TableSchema] = dict(schemas or {})
         self._tables: Dict[str, Set[NDTuple]] = {}
-        self._base: Set[NDTuple] = set()
-        self._derived: Set[NDTuple] = set()
+        #: Per-tuple BASE_FLAG / DERIVED_FLAG bits.
+        self._flags: Dict[NDTuple, int] = {}
+        #: Per-table secondary indexes: (column, value) -> set of tuples.
+        self._indexes: Dict[str, Dict[PyTuple[int, object], Set[NDTuple]]] = {}
+        #: Called with each tuple evicted by a primary-key update, so an
+        #: engine can keep its incremental bookkeeping consistent.
+        self.eviction_hook = None
 
     # -- schema management -------------------------------------------------
 
@@ -137,24 +166,67 @@ class Database:
         return set(self._tables)
 
     def tuples(self, table) -> Set[NDTuple]:
-        """Return the set of tuples currently stored for ``table``."""
+        """Return a copy of the set of tuples currently stored for ``table``."""
         return set(self._tables.get(table, ()))
+
+    def table(self, name) -> Set[NDTuple]:
+        """The live tuple set of a table.  Callers must not mutate it."""
+        return self._tables.get(name, _EMPTY_SET)
+
+    def lookup(self, table, column, value) -> Set[NDTuple]:
+        """Tuples of ``table`` whose ``column`` holds exactly ``value``.
+
+        Returns the live index bucket (do not mutate).  Comparison is strict
+        equality — wildcard values are ordinary values at the storage layer.
+        """
+        index = self._indexes.get(table)
+        if index is None:
+            return _EMPTY_SET
+        return index.get((column, value), _EMPTY_SET)
+
+    def candidates(self, table, constraints: Sequence[PyTuple[int, object]]) -> Set[NDTuple]:
+        """Smallest candidate set for a join probe.
+
+        ``constraints`` is a sequence of ``(column, value)`` equality
+        constraints; the smallest matching index bucket is returned (the full
+        table when no constraint is given).  The result is a live set — it
+        over-approximates the match, so callers still verify each tuple.
+        """
+        bucket = self._tables.get(table)
+        if not bucket:
+            return _EMPTY_SET
+        if not constraints:
+            return bucket
+        index = self._indexes.get(table)
+        if index is None:
+            return _EMPTY_SET
+        best = bucket
+        for key in constraints:
+            found = index.get(key)
+            if not found:
+                return _EMPTY_SET
+            if len(found) < len(best):
+                best = found
+        return best
 
     def all_tuples(self) -> Iterator[NDTuple]:
         for table_tuples in self._tables.values():
             yield from table_tuples
 
     def base_tuples(self) -> Set[NDTuple]:
-        return set(self._base)
+        return {t for t, flags in self._flags.items() if flags & BASE_FLAG}
 
     def derived_tuples(self) -> Set[NDTuple]:
-        return set(self._derived)
+        return {t for t, flags in self._flags.items() if flags & DERIVED_FLAG}
 
     def contains(self, tup: NDTuple) -> bool:
-        return tup in self._tables.get(tup.table, set())
+        return tup in self._tables.get(tup.table, _EMPTY_SET)
 
     def is_base(self, tup: NDTuple) -> bool:
-        return tup in self._base
+        return bool(self._flags.get(tup, 0) & BASE_FLAG)
+
+    def is_derived(self, tup: NDTuple) -> bool:
+        return bool(self._flags.get(tup, 0) & DERIVED_FLAG)
 
     def count(self, table=None) -> int:
         if table is not None:
@@ -176,15 +248,34 @@ class Database:
         """Remove tuples sharing the primary key (NDlog update semantics)."""
         if schema is None or not schema.primary_key:
             return []
+        key_columns = schema.key_indexes()
         key = tup.key(schema)
-        conflicting = [
-            other
-            for other in self._tables.get(tup.table, set())
-            if other.key(schema) == key and other != tup
-        ]
+        # Probe the index on the first key column instead of scanning.
+        candidates = self.lookup(tup.table, key_columns[0], tup.values[key_columns[0]])
+        conflicting = [other for other in candidates
+                       if other != tup and other.key(schema) == key]
         for other in conflicting:
             self.remove(other)
+            if self.eviction_hook is not None:
+                self.eviction_hook(other)
         return conflicting
+
+    def _index_add(self, tup: NDTuple):
+        index = self._indexes.setdefault(tup.table, {})
+        for column, value in enumerate(tup.values):
+            index.setdefault((column, value), set()).add(tup)
+
+    def _index_discard(self, tup: NDTuple):
+        index = self._indexes.get(tup.table)
+        if index is None:
+            return
+        for column, value in enumerate(tup.values):
+            key = (column, value)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(tup)
+                if not bucket:
+                    del index[key]
 
     def insert(self, tup: NDTuple, derived=False):
         """Insert a tuple; returns ``True`` if it was not already present."""
@@ -192,22 +283,51 @@ class Database:
         self._evict_key_conflicts(tup, schema)
         bucket = self._tables.setdefault(tup.table, set())
         fresh = tup not in bucket
-        bucket.add(tup)
-        if derived:
-            self._derived.add(tup)
-        else:
-            self._base.add(tup)
+        if fresh:
+            bucket.add(tup)
+            self._index_add(tup)
+        flag = DERIVED_FLAG if derived else BASE_FLAG
+        self._flags[tup] = self._flags.get(tup, 0) | flag
         return fresh
 
     def remove(self, tup: NDTuple):
-        """Remove a tuple; returns ``True`` if it was present."""
+        """Remove a tuple entirely (both flags); returns ``True`` if present."""
         bucket = self._tables.get(tup.table)
         if bucket is None or tup not in bucket:
             return False
         bucket.remove(tup)
-        self._base.discard(tup)
-        self._derived.discard(tup)
+        self._index_discard(tup)
+        self._flags.pop(tup, None)
         return True
+
+    def clear_base_flag(self, tup: NDTuple) -> bool:
+        """Drop the base flag; the tuple survives while still derived.
+
+        Returns ``True`` if the tuple left the database (it carried no other
+        flag), ``False`` if it remains as a derived tuple or was absent.
+        """
+        flags = self._flags.get(tup)
+        if flags is None or not flags & BASE_FLAG:
+            return False
+        remaining = flags & ~BASE_FLAG
+        if remaining:
+            self._flags[tup] = remaining
+            return False
+        return self.remove(tup)
+
+    def clear_derived_flag(self, tup: NDTuple) -> bool:
+        """Drop the derived flag; the tuple survives while still base.
+
+        Returns ``True`` if the tuple left the database, ``False`` otherwise.
+        """
+        flags = self._flags.get(tup)
+        if flags is None or not flags & DERIVED_FLAG:
+            return False
+        remaining = flags & ~DERIVED_FLAG
+        if remaining:
+            self._flags[tup] = remaining
+            return False
+        return self.remove(tup)
 
     def clear_table(self, table):
         for tup in list(self._tables.get(table, ())):
@@ -218,8 +338,9 @@ class Database:
         copy = Database(self._schemas)
         for table, tuples in self._tables.items():
             copy._tables[table] = set(tuples)
-        copy._base = set(self._base)
-        copy._derived = set(self._derived)
+        for table, index in self._indexes.items():
+            copy._indexes[table] = {key: set(bucket) for key, bucket in index.items()}
+        copy._flags = dict(self._flags)
         return copy
 
     def __len__(self):
@@ -227,3 +348,6 @@ class Database:
 
     def __contains__(self, tup):
         return isinstance(tup, NDTuple) and self.contains(tup)
+
+
+_EMPTY_SET: Set[NDTuple] = frozenset()

@@ -121,6 +121,20 @@ class TestMultiQueryBacktesting:
         assert report.shared_evaluations + report.candidate_evaluations > 0
         assert 0.0 <= report.sharing_ratio() <= 1.0
 
+    def test_counters_sum_to_packets_times_candidates(self, q1, q1_candidates):
+        """Each packet×candidate decision is counted exactly once.
+
+        Regression test: the shared controller used to increment the same
+        counters again for every PacketIn raised while replaying an affected
+        packet, double-counting decisions and skewing sharing_ratio().
+        """
+        candidates = list(q1_candidates)
+        report = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold
+                                      ).evaluate_all(candidates)
+        assert report.packet_count == len(q1.trace())
+        assert report.shared_evaluations + report.candidate_evaluations == \
+            report.packet_count * len(candidates)
+
 
 class TestRanking:
     def test_accepted_first_in_cost_order(self, q1, q1_candidates):

@@ -1,0 +1,45 @@
+"""Smoke invocation of the engine microbenchmark (small sizes).
+
+Runs the join/insert and delete workloads from
+``benchmarks/bench_engine_micro.py`` on every test run, asserting that the
+indexed engine (a) computes exactly what the naive oracle computes and
+(b) is not slower than the oracle on workloads its indexes are built for.
+A regression that disables indexing or incremental deletion fails here
+within seconds instead of surfacing in the long-running figure benchmarks.
+"""
+
+import pathlib
+import sys
+
+_BENCHMARKS_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
+
+from bench_engine_micro import (  # noqa: E402
+    SMOKE_DELETE_SIZE,
+    SMOKE_JOIN_SIZE,
+    compare_engines,
+    run_delete_workload,
+    run_insert_workload,
+)
+
+
+def test_join_insert_smoke():
+    indexed_elapsed, naive_elapsed, identical = compare_engines(
+        run_insert_workload, SMOKE_JOIN_SIZE)
+    assert identical, "indexed engine diverged from the naive oracle"
+    # The naive engine scans/copies the whole S table per R insertion; at
+    # this size it is far slower, so the margin is comfortable even on a
+    # noisy CI machine.
+    assert indexed_elapsed < naive_elapsed, (
+        f"indexed join slower than naive scan: "
+        f"{indexed_elapsed:.4f}s vs {naive_elapsed:.4f}s")
+
+
+def test_delete_smoke():
+    indexed_elapsed, naive_elapsed, identical = compare_engines(
+        run_delete_workload, SMOKE_DELETE_SIZE)
+    assert identical, "incremental deletion diverged from recompute"
+    assert indexed_elapsed < naive_elapsed, (
+        f"incremental deletion slower than full recompute: "
+        f"{indexed_elapsed:.4f}s vs {naive_elapsed:.4f}s")
