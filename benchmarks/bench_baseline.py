@@ -1,0 +1,220 @@
+"""Tracked perf baseline: engine micro workloads + Figure 9b backtest modes.
+
+Unlike the figure benchmarks (which print a table once), this harness writes
+a machine-readable ``BENCH_baseline.json`` at the repo root so future PRs
+have a trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_baseline.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_baseline.py --smoke    # seconds
+
+Measured workloads:
+
+* ``engine.join_insert`` / ``engine.delete`` — the indexed engine vs the
+  scan-based oracle (same workloads as ``bench_engine_micro.py``);
+* ``fig9b.*`` — backtesting the Q1 candidate set under every pipeline mode:
+  ``sequential`` (per-candidate, per-packet), ``sequential_batched``
+  (batched PacketIn fixpoints), ``multiquery`` (shared trunk),
+  ``parallel`` and ``multiquery_parallel`` (process-sharded candidates).
+
+All modes must agree on the accepted set — the harness asserts it, so the
+baseline doubles as an end-to-end parity check.  A smoke-size invocation
+runs in the tier-1 suite (``tests/backtest/test_bench_baseline_smoke.py``).
+
+See ``EXPERIMENTS.md`` for how to read and compare the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+for path in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from bench_engine_micro import (  # noqa: E402
+    BENCH_DELETE_SIZE,
+    BENCH_JOIN_SIZE,
+    SMOKE_DELETE_SIZE,
+    SMOKE_JOIN_SIZE,
+    run_delete_workload,
+    run_insert_workload,
+)
+
+from repro.backtest import Backtester, MultiQueryBacktester  # noqa: E402
+from repro.backtest.replay import fork_available  # noqa: E402
+from repro.ndlog import Engine, NaiveEngine  # noqa: E402
+from repro.repair import ChangeConstant, DeleteSelection, RepairCandidate  # noqa: E402
+from repro.scenarios.q1_copy_paste import build_q1  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
+
+#: Batch size used for the batched-replay modes.
+REPLAY_BATCH_SIZE = 32
+
+
+def _smoke_candidates() -> List[RepairCandidate]:
+    """Three hand-written Q1 candidates (no diagnosis run needed)."""
+    return [
+        RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),),
+                        cost=1.1, description="r7: Swi==2 -> Swi==3"),
+        RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 4),),
+                        cost=1.3, description="r7: Swi==2 -> Swi==4"),
+        RepairCandidate(edits=(DeleteSelection("r7", 0, "Swi == 2"),),
+                        cost=2.0, description="r7: delete Swi==2"),
+    ]
+
+
+def _diagnosed_candidates(count: int) -> List[RepairCandidate]:
+    """The first ``count`` candidates the meta-provenance explorer proposes
+    for Q1 — the same workload as ``bench_fig9b_backtest.py``."""
+    from repro.debugger import MetaProvenanceDebugger
+    report = MetaProvenanceDebugger(build_q1(), max_candidates=14).diagnose()
+    return report.exploration.candidates[:count]
+
+
+def bench_engine(join_size: int, delete_size: int) -> Dict:
+    out: Dict[str, Dict] = {}
+    for label, runner, size in (
+            ("join_insert", run_insert_workload, join_size),
+            ("delete", run_delete_workload, delete_size)):
+        indexed_elapsed, indexed_result = runner(Engine, size)
+        naive_elapsed, naive_result = runner(NaiveEngine, size)
+        assert indexed_result == naive_result, \
+            f"engine workload {label} diverged from the oracle"
+        out[label] = {
+            "size": size,
+            "indexed_seconds": indexed_elapsed,
+            "naive_seconds": naive_elapsed,
+            "speedup": naive_elapsed / indexed_elapsed if indexed_elapsed
+            else None,
+        }
+    return out
+
+
+def _timed_backtest(factory, candidates, workers: Optional[int] = None):
+    backtester = factory()
+    started = time.perf_counter()
+    if workers is None:
+        report = backtester.evaluate_all(candidates)
+    else:
+        report = backtester.evaluate_all(candidates, workers=workers)
+    elapsed = time.perf_counter() - started
+    return elapsed, report
+
+
+def bench_fig9b(scenario, candidates, workers: int,
+                batch_size: int = REPLAY_BATCH_SIZE) -> Dict:
+    threshold = scenario.ks_threshold
+
+    def sequential():
+        return Backtester(scenario, ks_threshold=threshold)
+
+    def sequential_batched():
+        return Backtester(scenario, ks_threshold=threshold,
+                          replay_batch_size=batch_size)
+
+    def multiquery():
+        return MultiQueryBacktester(scenario, ks_threshold=threshold)
+
+    modes = {
+        "sequential": (sequential, None),
+        "sequential_batched": (sequential_batched, None),
+        "multiquery": (multiquery, None),
+    }
+    if fork_available():
+        modes["parallel"] = (sequential, workers)
+        modes["multiquery_parallel"] = (multiquery, workers)
+
+    out: Dict[str, Dict] = {}
+    accepted_sets = {}
+    for name, (factory, mode_workers) in modes.items():
+        elapsed, report = _timed_backtest(factory, candidates, mode_workers)
+        accepted_sets[name] = [r.accepted for r in report.results]
+        entry = {"seconds": elapsed,
+                 "candidates": len(candidates),
+                 "accepted": sum(accepted_sets[name])}
+        if mode_workers is not None:
+            entry["workers"] = mode_workers
+        if "batched" in name:
+            entry["replay_batch_size"] = batch_size
+        if hasattr(report, "sharing_ratio"):
+            entry["sharing_ratio"] = report.sharing_ratio()
+        out[name] = entry
+    reference = accepted_sets["sequential"]
+    for name, accepted in accepted_sets.items():
+        assert accepted == reference, \
+            f"mode {name} disagreed with the sequential accepted set"
+    out["packet_count"] = len(scenario.trace()) * len(candidates)
+    return out
+
+
+def run_baseline(smoke: bool = False, workers: Optional[int] = None,
+                 output: Optional[pathlib.Path] = DEFAULT_OUTPUT) -> Dict:
+    cpu_count = multiprocessing.cpu_count()
+    if workers is None:
+        workers = 2 if smoke else max(2, min(4, cpu_count))
+    if smoke:
+        scenario = build_q1(repetitions=1)
+        candidates = _smoke_candidates()
+        engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE)
+        batch_size = 8
+    else:
+        scenario = build_q1(repetitions=10)
+        candidates = _diagnosed_candidates(9)
+        engine = bench_engine(BENCH_JOIN_SIZE, BENCH_DELETE_SIZE)
+        batch_size = REPLAY_BATCH_SIZE
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "recorded_unix": time.time(),
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": cpu_count,
+        "fork_available": fork_available(),
+        "workers": workers,
+        "engine": engine,
+        "fig9b": bench_fig9b(scenario, candidates, workers,
+                             batch_size=batch_size),
+    }
+    if output is not None:
+        output = pathlib.Path(output)
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny trace and workloads (seconds, CI-sized)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the parallel modes")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON baseline")
+    args = parser.parse_args(argv)
+    payload = run_baseline(smoke=args.smoke, workers=args.workers,
+                           output=args.output)
+    print(f"wrote {args.output}")
+    print(f"{'workload':>24} {'seconds':>10}")
+    for label, entry in payload["engine"].items():
+        print(f"{'engine.' + label:>24} {entry['indexed_seconds']:>10.4f} "
+              f"(naive {entry['naive_seconds']:.4f}, "
+              f"{entry['speedup']:.1f}x)")
+    for label, entry in payload["fig9b"].items():
+        if not isinstance(entry, dict):
+            continue
+        suffix = f" ({entry['workers']} workers)" if "workers" in entry else ""
+        print(f"{'fig9b.' + label:>24} {entry['seconds']:>10.3f}{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

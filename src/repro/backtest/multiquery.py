@@ -34,10 +34,12 @@ from ..ndlog.engine import Engine
 from ..ndlog.tuples import NDTuple
 from ..repair.apply import apply_candidate
 from ..repair.candidates import RepairCandidate
+from ..sdn.log import DeliveryRecord
 from ..sdn.network import NetworkSimulator, TrafficStats
 from ..sdn.packets import Packet
 from .metrics import compare_traffic
-from .replay import BacktestReport, BacktestResult, Backtester
+from .replay import (BacktestReport, BacktestResult, Backtester, ShardOutcome,
+                     _run_sharded)
 
 
 def modified_rule_names(program: Program, candidate: RepairCandidate) -> Set[str]:
@@ -182,78 +184,181 @@ class _SharedResponseController:
         self.candidate_controller.reset()
 
 
+@dataclass
+class _SharedTrunk:
+    """Per-candidate-independent state, computed once before sharding.
+
+    The trunk is the operational analogue of the tagged backtesting
+    program's shared sub-flows: the base network's delivery outcome and
+    control-plane cost for every trace packet, plus the base controller's
+    first response per distinct PacketIn key.  Candidate evaluations only
+    read it, so forked workers inherit it copy-on-write.
+    """
+
+    trace: List[Tuple[int, Packet]]
+    base_records: List[DeliveryRecord]
+    #: Per trace entry: (packet_in, flow_mod, packet_out) counts of the base
+    #: run, credited to candidates that adopt the shared outcome so their
+    #: control-plane statistics stay comparable with sequential backtests.
+    base_deltas: List[Tuple[int, int, int]]
+    base_cache: Dict[Tuple, List[object]]
+    switch_ids: List[int]
+
+
+class _CachePrimingController:
+    """Wraps the trunk's base controller, recording its responses.
+
+    Delegates every PacketIn to the real controller (the trunk replay stays
+    exact) while remembering the first response per distinct key — the same
+    entries the lazy shared cache would eventually hold, now computed once
+    in trace order before any candidate runs.
+    """
+
+    def __init__(self, scenario, inner, cache: Dict[Tuple, List[object]]):
+        self.scenario = scenario
+        self.inner = inner
+        self.cache = cache
+        self.name = f"priming({inner.name})"
+
+    def on_start(self, network):
+        return self.inner.on_start(network)
+
+    def handle_packet_in(self, event):
+        messages = self.inner.handle_packet_in(event)
+        packet_tuple = self.scenario.packet_in_tuple(
+            event.switch_id, event.packet, in_port=event.in_port)
+        self.cache.setdefault((event.switch_id, packet_tuple.values), messages)
+        return messages
+
+    def reset(self):
+        self.inner.reset()
+
+
+class _LazyBaseController:
+    """Builds a fresh base controller on first use (cache misses only).
+
+    Keeping the fallback controller per candidate — instead of one shared
+    mutable instance — makes candidate evaluations hermetic, which is what
+    allows them to run in any order or in separate processes while staying
+    bit-identical to the serial pass.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        self._inner = None
+        self.name = "lazy-base"
+
+    def handle_packet_in(self, event):
+        if self._inner is None:
+            self._inner = self.scenario.build_controller(program=None)
+        return self._inner.handle_packet_in(event)
+
+
 class MultiQueryBacktester(Backtester):
     """Backtests many candidates jointly, sharing the common computation."""
 
-    def evaluate_all(self, candidates: Sequence[RepairCandidate]) -> MultiQueryReport:
-        started = _time.perf_counter()
-        baseline = self.baseline()
-        report = MultiQueryReport(baseline=baseline)
+    def _build_trunk(self) -> _SharedTrunk:
+        self.baseline()   # cache before forking; workers inherit it
         trace = self._trace()
-        static_tuples = list(self.scenario.static_tuples)
-
-        # Shared base controller and response cache (computed lazily, once
-        # per distinct packet across *all* candidates).
-        base_controller = self.scenario.build_controller(program=None)
         base_cache: Dict[Tuple, List[object]] = {}
-        counters = {"shared": 0, "candidate": 0}
-
-        prepared = []
-        for candidate in candidates:
-            repaired = apply_candidate(self.scenario.program, candidate)
-            checker = _RuleDeltaChecker(self.scenario, self.scenario.program,
-                                        candidate, repaired.program)
-            topology = self.scenario.build_topology()
-            candidate_controller = self.scenario.build_controller(
-                program=repaired.program,
-                extra_tuples=repaired.inserted_tuples,
-                removed_tuples=repaired.removed_tuples)
-            shared = _SharedResponseController(
-                self.scenario, base_controller, base_cache,
-                candidate_controller, checker, static_tuples)
-            simulator = NetworkSimulator(
-                topology, shared,
-                require_packet_out=self.scenario.require_packet_out,
-                record_ingress=False)
-            prepared.append((candidate, checker, simulator))
-
-        # One shared pass over the trace: packets that a candidate's edits
-        # cannot affect reuse the base network's delivery outcome (the shared
-        # "trunk" of the paper's tagged backtesting program); only affected
-        # packets are forwarded through that candidate's own network.
-        base_topology = self.scenario.build_topology()
-        base_simulator = NetworkSimulator(
-            base_topology, self.scenario.build_controller(program=None),
+        topology = self.scenario.build_topology()
+        priming = _CachePrimingController(
+            self.scenario, self.scenario.build_controller(program=None),
+            base_cache)
+        simulator = NetworkSimulator(
+            topology, priming,
             require_packet_out=self.scenario.require_packet_out,
             record_ingress=False)
-        switch_ids = sorted(base_topology.switches)
+        base_records: List[DeliveryRecord] = []
+        base_deltas: List[Tuple[int, int, int]] = []
+        stats = simulator.stats
         for switch_id, packet in trace:
-            base_record = base_simulator.inject(packet, switch_id)
-            for candidate, checker, simulator in prepared:
-                if checker.affects_anywhere(packet, switch_ids):
-                    counters["candidate"] += 1
-                    simulator.inject(packet, switch_id)
-                else:
-                    counters["shared"] += 1
-                    self._adopt_base_record(simulator, base_record)
+            before = (stats.packet_in_count, stats.flow_mod_count,
+                      stats.packet_out_count)
+            base_records.append(simulator.inject(packet, switch_id))
+            base_deltas.append((stats.packet_in_count - before[0],
+                                stats.flow_mod_count - before[1],
+                                stats.packet_out_count - before[2]))
+        return _SharedTrunk(trace=trace, base_records=base_records,
+                            base_deltas=base_deltas, base_cache=base_cache,
+                            switch_ids=sorted(topology.switches))
 
-        for candidate, checker, simulator in prepared:
-            stats = simulator.stats
-            ks = compare_traffic(baseline, stats)
-            effective = bool(self.scenario.is_effective(stats))
-            accepted = effective and not self._distorts(ks)
-            report.results.append(BacktestResult(
-                candidate=candidate, stats=stats, ks=ks, effective=effective,
-                accepted=accepted, notes=candidate.notes))
-        report.shared_evaluations = counters["shared"]
-        report.candidate_evaluations = counters["candidate"]
-        report.packet_count = len(trace)
+    def _evaluate_for_shard(self, candidate: RepairCandidate,
+                            trunk: _SharedTrunk) -> ShardOutcome:
+        """Evaluate one candidate against the precomputed trunk (hermetic)."""
+        started = _time.perf_counter()
+        repaired = apply_candidate(self.scenario.program, candidate)
+        checker = _RuleDeltaChecker(self.scenario, self.scenario.program,
+                                    candidate, repaired.program)
+        topology = self.scenario.build_topology()
+        candidate_controller = self.scenario.build_controller(
+            program=repaired.program,
+            extra_tuples=repaired.inserted_tuples,
+            removed_tuples=repaired.removed_tuples)
+        shared = _SharedResponseController(
+            self.scenario, _LazyBaseController(self.scenario),
+            dict(trunk.base_cache), candidate_controller, checker,
+            list(self.scenario.static_tuples))
+        simulator = NetworkSimulator(
+            topology, shared,
+            require_packet_out=self.scenario.require_packet_out,
+            record_ingress=False)
+        shared_count = 0
+        candidate_count = 0
+        for index, (switch_id, packet) in enumerate(trunk.trace):
+            if checker.affects_anywhere(packet, trunk.switch_ids):
+                candidate_count += 1
+                simulator.inject(packet, switch_id)
+            else:
+                shared_count += 1
+                self._adopt_base_record(simulator, trunk.base_records[index],
+                                        trunk.base_deltas[index])
+        stats = simulator.stats
+        ks = compare_traffic(self.baseline(), stats)
+        effective = bool(self.scenario.is_effective(stats))
+        accepted = effective and not self._distorts(ks) \
+            and not self._overloads_controller(stats)
+        elapsed = _time.perf_counter() - started
+        result = BacktestResult(candidate=candidate, stats=stats, ks=ks,
+                                effective=effective, accepted=accepted,
+                                elapsed_seconds=elapsed, notes=candidate.notes)
+        return ShardOutcome(result=result, shared_evaluations=shared_count,
+                            candidate_evaluations=candidate_count)
+
+    def evaluate_all(self, candidates: Sequence[RepairCandidate],
+                     workers: Optional[int] = None) -> MultiQueryReport:
+        started = _time.perf_counter()
+        report = MultiQueryReport(baseline=self.baseline())
+        workers = self._use_workers(candidates, workers)
+        trunk = self._build_trunk()
+        if workers > 1:
+            outcomes = _run_sharded(self, list(candidates), trunk, workers)
+        else:
+            outcomes = [self._evaluate_for_shard(candidate, trunk)
+                        for candidate in candidates]
+        for outcome in outcomes:
+            report.results.append(outcome.result)
+            report.shared_evaluations += outcome.shared_evaluations
+            report.candidate_evaluations += outcome.candidate_evaluations
+        report.packet_count = len(trunk.trace)
         report.elapsed_seconds = _time.perf_counter() - started
         return report
 
     @staticmethod
-    def _adopt_base_record(simulator: NetworkSimulator, record) -> None:
-        """Credit a shared (base-network) delivery outcome to a candidate."""
+    def _adopt_base_record(simulator: NetworkSimulator, record,
+                           delta: Tuple[int, int, int] = (0, 0, 0)) -> None:
+        """Credit a shared (base-network) delivery outcome to a candidate.
+
+        Like the adopted delivery record itself, the adopted control-plane
+        delta reflects the *base* network's handling of the packet.  That is
+        the sharing premise — an unaffected packet behaves identically under
+        the candidate — and it is exact whenever flow-entry match columns
+        equal the PacketIn tuple fields (identical flow keys then imply
+        identical tuples, which the delta checker classifies identically).
+        Mappings with narrower match columns can in principle attribute a
+        shared miss to both the base delta and a later affected same-key
+        packet; the Q1-Q5 verdict-parity tests bound this approximation.
+        """
         stats = simulator.stats
         stats.total += 1
         stats.delivery_records.append(record)
@@ -262,3 +367,6 @@ class MultiQueryBacktester(Backtester):
                 stats.delivered_per_host.get(record.delivered_to, 0) + 1
         else:
             stats.dropped += 1
+        stats.packet_in_count += delta[0]
+        stats.flow_mod_count += delta[1]
+        stats.packet_out_count += delta[2]

@@ -17,15 +17,71 @@ and the effectiveness predicate.
 
 from __future__ import annotations
 
+import multiprocessing
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ndlog.ast import Program
 from ..repair.apply import RepairedProgram, apply_candidate
 from ..repair.candidates import RepairCandidate
 from ..sdn.network import NetworkSimulator, TrafficStats
 from .metrics import KSResult, compare_traffic
+
+
+def fork_available() -> bool:
+    """Can candidate evaluation be sharded across processes?
+
+    Sharding relies on ``fork`` start semantics: workers inherit the
+    already-computed shared trunk (baseline statistics, base delivery
+    records, response caches) by copy-on-write instead of pickling scenario
+    closures, which are not picklable.  On platforms without ``fork`` the
+    backtesters silently fall back to the serial path.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Per-process state inherited by forked pool workers.  Set immediately
+#: before the pool is created; workers index into it by candidate position,
+#: so the only data crossing process boundaries are integers (inputs) and
+#: candidate-stripped results (outputs).
+_WORKER_STATE: Optional[Tuple[object, Sequence[RepairCandidate], object]] = None
+
+
+def _evaluate_shard(index: int):
+    """Top-level pool worker: evaluate one candidate from inherited state."""
+    backtester, candidates, trunk = _WORKER_STATE
+    outcome = backtester._evaluate_for_shard(candidates[index], trunk)
+    # The candidate (with its meta-provenance tree) stays in the parent;
+    # shipping only the stripped result keeps pickling cheap and robust.
+    outcome.result.candidate = None
+    return outcome
+
+
+def _run_sharded(backtester, candidates: Sequence[RepairCandidate],
+                 trunk, workers: int):
+    """Map candidates over a fork pool, preserving input order."""
+    global _WORKER_STATE
+    processes = min(workers, len(candidates))
+    context = multiprocessing.get_context("fork")
+    _WORKER_STATE = (backtester, candidates, trunk)
+    try:
+        with context.Pool(processes=processes) as pool:
+            outcomes = pool.map(_evaluate_shard, range(len(candidates)))
+    finally:
+        _WORKER_STATE = None
+    for candidate, outcome in zip(candidates, outcomes):
+        outcome.result.candidate = candidate
+    return outcomes
+
+
+@dataclass
+class ShardOutcome:
+    """What one per-candidate evaluation sends back from a worker."""
+
+    result: "BacktestResult"
+    shared_evaluations: int = 0
+    candidate_evaluations: int = 0
 
 
 @dataclass
@@ -46,7 +102,7 @@ class BacktestResult:
                 self.ks.statistic, verdict)
 
     def __str__(self):
-        verdict = "3" if self.accepted else "5"
+        verdict = "PASS" if self.accepted else "FAIL"
         return (f"{self.candidate.description} ({verdict})  "
                 f"KS={self.ks.statistic:.5f}")
 
@@ -78,7 +134,9 @@ class Backtester:
     def __init__(self, scenario, ks_threshold: float = 0.05,
                  alpha: float = 0.05, use_significance: bool = False,
                  trace_limit: Optional[int] = None,
-                 max_packet_in_growth: Optional[float] = None):
+                 max_packet_in_growth: Optional[float] = None,
+                 workers: int = 1,
+                 replay_batch_size: Optional[int] = None):
         self.scenario = scenario
         self.ks_threshold = ks_threshold
         self.alpha = alpha
@@ -89,6 +147,14 @@ class Backtester:
         #: rejects some Q4 candidates for "significant increases of controller
         #: traffic").
         self.max_packet_in_growth = max_packet_in_growth
+        #: Candidate evaluations are independent once the shared trunk is
+        #: cached; ``workers > 1`` shards them across a fork pool.  Results
+        #: are bit-identical to the serial path and returned in input order.
+        self.workers = workers
+        #: Replay the trace in bursts of this size (one engine fixpoint per
+        #: burst of PacketIns) when the controller program admits it; see
+        #: :mod:`repro.controllers.batching`.
+        self.replay_batch_size = replay_batch_size
         self._baseline: Optional[TrafficStats] = None
 
     # ------------------------------------------------------------------
@@ -113,7 +179,7 @@ class Backtester:
             topology, controller,
             require_packet_out=self.scenario.require_packet_out,
             record_ingress=False)
-        simulator.run_trace(self._trace())
+        simulator.run_trace(self._trace(), batch_size=self.replay_batch_size)
         return simulator.stats
 
     def baseline(self) -> TrafficStats:
@@ -152,11 +218,41 @@ class Backtester:
             return ks.significant(self.alpha)
         return ks.statistic > self.ks_threshold
 
-    def evaluate_all(self, candidates: Sequence[RepairCandidate]) -> BacktestReport:
+    def _evaluate_for_shard(self, candidate: RepairCandidate,
+                            trunk) -> ShardOutcome:
+        """Hermetic per-candidate evaluation used by serial and pool paths.
+
+        Subclasses override this (together with :meth:`_build_trunk`) to
+        share more precomputed state; the base backtester only needs the
+        cached baseline, which :meth:`evaluate_all` computes before forking.
+        """
+        return ShardOutcome(result=self.evaluate(candidate))
+
+    def _build_trunk(self):
+        """Precompute state shared by every candidate (parent process only)."""
+        self.baseline()
+        return None
+
+    def _use_workers(self, candidates, workers: Optional[int]) -> int:
+        workers = self.workers if workers is None else workers
+        if workers is None or workers <= 1 or len(candidates) <= 1:
+            return 1
+        if not fork_available():
+            return 1
+        return workers
+
+    def evaluate_all(self, candidates: Sequence[RepairCandidate],
+                     workers: Optional[int] = None) -> BacktestReport:
         started = _time.perf_counter()
         report = BacktestReport(baseline=self.baseline())
         report.packet_count = len(self._trace())
-        for candidate in candidates:
-            report.results.append(self.evaluate(candidate))
+        workers = self._use_workers(candidates, workers)
+        trunk = self._build_trunk()
+        if workers > 1:
+            outcomes = _run_sharded(self, list(candidates), trunk, workers)
+        else:
+            outcomes = [self._evaluate_for_shard(candidate, trunk)
+                        for candidate in candidates]
+        report.results.extend(outcome.result for outcome in outcomes)
         report.elapsed_seconds = _time.perf_counter() - started
         return report

@@ -26,6 +26,7 @@ from .imperative import (
     SendPacketOut,
     VarRef,
 )
+from .batching import batch_replay_safe, engine_batch_safe, probe_exact
 from .ndlog_controller import (
     FIELD_MAPPINGS,
     FIGURE2_MAPPING,
@@ -33,6 +34,7 @@ from .ndlog_controller import (
     FieldMapping,
     IN_PORT_FIELD,
     NDlogController,
+    PacketInResponse,
 )
 from .policy import (
     Drop,
@@ -62,7 +64,8 @@ __all__ = [
     "ImperativeRepair", "ImperativeRepairer", "InstallFlow", "Lit",
     "SendPacketOut", "VarRef",
     "FIELD_MAPPINGS", "FIGURE2_MAPPING", "FIVE_TUPLE_MAPPING", "FieldMapping",
-    "IN_PORT_FIELD", "NDlogController",
+    "IN_PORT_FIELD", "NDlogController", "PacketInResponse",
+    "batch_replay_safe", "engine_batch_safe", "probe_exact",
     "Drop", "Flood", "Fwd", "LocatedPacket", "Match", "Mod", "Parallel",
     "Policy", "PolicyController", "PolicyDeliveryGoal", "PolicyRepair",
     "PolicyRepairer", "Restrict", "Sequential", "drop", "flood", "fwd",

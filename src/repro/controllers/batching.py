@@ -1,0 +1,182 @@
+"""Static analysis deciding when PacketIn handling may be batched.
+
+Batched evaluation (one engine fixpoint per burst of ``PacketIn`` tuples,
+:meth:`repro.ndlog.engine.Engine.insert_batch`) and batched trace replay
+(:meth:`repro.sdn.network.NetworkSimulator.run_trace` with a ``batch_size``)
+are *optimisations*: reports must stay bit-identical to per-packet replay.
+That equivalence is a property of the controller program, so it is decided
+here, once per program, by two conservative static checks:
+
+``engine_batch_safe``
+    The joint fixpoint over a batch of PacketIn tuples must produce, per
+    tuple, exactly what sequential insertion would have produced.  This
+    fails when packets can interact through the rules: a rule joining two
+    tables that both descend from PacketIn (Q5's ``PacketIn ⋈ Learned``), a
+    derivable table with a primary key (update semantics make results depend
+    on insertion order), rules re-deriving PacketIn itself, or rules reading
+    consumed/transient event tables.
+
+``probe_exact``
+    Batched replay predicts, before walking a burst, which packets will miss
+    in the ingress flow table.  The prediction is exact only when a packet's
+    hit/miss status is fully determined by its PacketIn tuple key: every
+    flow-entry head must be wildcard-free and match on exactly the packet
+    fields that make up the PacketIn tuple.  A wildcard head (Q5's
+    ``SipP := *``) lets one packet's FlowMod change another key's fate
+    mid-burst, so such programs replay per-packet.
+
+Both checks run against the *instantiated* program — repaired candidate
+programs are analysed individually, so a repair that introduces a wildcard
+or a new join simply opts that one candidate out of batching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..ndlog.ast import Program, Var, WILDCARD
+from ..ndlog.tuples import TableSchema
+
+
+def derivable_tables(program: Program, packet_in_table: str) -> Set[str]:
+    """Tables whose contents can (transitively) depend on PacketIn tuples."""
+    tainted = {packet_in_table}
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if rule.head.table in tainted:
+                continue
+            if any(atom.table in tainted for atom in rule.body):
+                tainted.add(rule.head.table)
+                changed = True
+    return tainted
+
+
+def engine_batch_safe(program: Program, packet_in_table: str,
+                      packet_out_table: str,
+                      schemas: Dict[str, TableSchema]) -> bool:
+    """May a batch of distinct PacketIn tuples share one fixpoint?"""
+    tainted = derivable_tables(program, packet_in_table)
+    for rule in program.rules:
+        # Deriving new PacketIns would extend the batch mid-fixpoint.
+        if rule.head.table == packet_in_table:
+            return False
+        tainted_atoms = sum(1 for atom in rule.body if atom.table in tainted)
+        if tainted_atoms >= 2:
+            # Two packets (or their derivations) could join with each other —
+            # sequential insertion would not have seen the later packet yet.
+            return False
+        for atom in rule.body:
+            if atom.table == packet_out_table:
+                # Consumed between events sequentially, visible jointly.
+                return False
+            schema = schemas.get(atom.table)
+            if (atom.table != packet_in_table and atom.table in tainted
+                    and schema is not None and not schema.persistent):
+                return False
+    for table in tainted:
+        if table == packet_in_table:
+            continue
+        schema = schemas.get(table)
+        if schema is not None and schema.primary_key:
+            # Primary-key updates evict by insertion order.
+            return False
+    return True
+
+
+def probe_exact(program: Program, mapping) -> bool:
+    """Is ingress hit/miss fully determined by the PacketIn tuple key?
+
+    Batched replay relies on "a mid-burst install can only affect packets
+    sharing the installing packet's tuple key".  That holds when
+
+    (a) flow-entry match columns equal the PacketIn tuple's packet fields,
+    (b) every flow-head rule that replay can trigger installs the entry for
+        the *triggering packet's own key*: its switch column and every match
+        column must be the very variable the rule's PacketIn atom binds for
+        that field (not a constant, another variable, a wildcard, or a
+        variable overwritten by an assignment), and
+    (c) the entry carries no wildcard in a match column (implied by (b)).
+
+    Flow-head rules with no PacketIn-derivable body atom only fire during
+    static setup — before any burst is probed — and are always eligible.
+    """
+    match_columns = tuple(name for name in mapping.flow_entry_layout
+                          if name != "out_port")
+    if set(match_columns) != set(mapping.packet_in_fields):
+        return False
+    tainted = derivable_tables(program, mapping.packet_in_table)
+    field_position = {name: 2 + offset for offset, name
+                      in enumerate(mapping.packet_in_fields)}
+    for rule in program.rules:
+        if rule.head.table != mapping.flow_table:
+            continue
+        if rule.head.arity != len(mapping.flow_entry_layout) + 1:
+            # Mis-shaped heads are dropped by the translator; a repair can
+            # produce them, and we cannot predict their effect — bail out.
+            return False
+        tainted_atoms = [atom for atom in rule.body if atom.table in tainted]
+        if not tainted_atoms:
+            continue    # fires from static data only, i.e. pre-burst
+        if (len(tainted_atoms) != 1
+                or tainted_atoms[0].table != mapping.packet_in_table):
+            # Chained or joined event derivations: the head values are not
+            # traceable to one packet's fields by this analysis.
+            return False
+        packet_in = tainted_atoms[0]
+        if packet_in.arity != 2 + len(mapping.packet_in_fields):
+            return False
+        assigned = {assignment.var for assignment in rule.assignments}
+
+        def bound_to_trigger(head_arg, pin_position):
+            source = packet_in.args[pin_position]
+            return (isinstance(head_arg, Var) and isinstance(source, Var)
+                    and head_arg.name == source.name
+                    and head_arg.name not in assigned)
+
+        if not bound_to_trigger(rule.head.args[0], 1):   # the switch column
+            return False
+        for column, name in enumerate(mapping.flow_entry_layout, start=1):
+            if name == "out_port":
+                continue
+            if not bound_to_trigger(rule.head.args[column],
+                                    field_position[name]):
+                return False
+    return True
+
+
+def data_wildcard_free(program: Program, mapping,
+                       static_tuples: Iterable) -> bool:
+    """No wildcard can flow from base data into a flow-entry match column.
+
+    ``probe_exact`` analyses the program text, but a repair can also inject
+    wildcards through *data* (an ``InsertTuple`` edit materialised with
+    WILDCARD columns): a '*' value in a table joined by a flow-head rule can
+    unify through a body variable into a match column, producing exactly the
+    wildcard entry the probe analysis excludes.  Conservatively reject
+    batching when any static tuple of a body-joined table carries the
+    wildcard value.  (Wildcarded tuples inserted directly into the flow
+    table are fine: they become entries during ``on_start``, before any
+    burst is probed.)
+    """
+    wildcarded_tables = {tup.table for tup in static_tuples
+                         if WILDCARD in tup.values}
+    if not wildcarded_tables:
+        return True
+    for rule in program.rules:
+        if rule.head.table != mapping.flow_table:
+            continue
+        if any(atom.table in wildcarded_tables for atom in rule.body):
+            return False
+    return True
+
+
+def batch_replay_safe(program: Program, mapping,
+                      schemas: Dict[str, TableSchema],
+                      static_tuples: Iterable = ()) -> bool:
+    """Full eligibility for batched trace replay (fixpoint + probe phases)."""
+    return (engine_batch_safe(program, mapping.packet_in_table,
+                              mapping.packet_out_table, schemas)
+            and probe_exact(program, mapping)
+            and data_wildcard_free(program, mapping, static_tuples))

@@ -21,6 +21,7 @@ from ..ndlog.tuples import NDTuple, TableSchema
 from ..sdn.controller import Controller, FlowMod, PacketInEvent, PacketOut
 from ..sdn.packets import Packet
 from ..sdn.switch import DROP_PORT, FlowEntry
+from . import batching
 
 
 #: Name of the pseudo packet field carrying the ingress port.
@@ -115,6 +116,47 @@ FIELD_MAPPINGS = {
 }
 
 
+@dataclass(frozen=True)
+class PacketInResponse:
+    """One event's controller response in packet-agnostic template form.
+
+    ``FlowMod`` messages are fully determined by the derived tuples, but
+    ``PacketOut`` messages carry the triggering packet — batched replay may
+    serve one precomputed response to several packets sharing a PacketIn
+    tuple key, so packet-outs are stored as ``(switch_id, port)`` specs and
+    materialised per packet by :meth:`messages_for`.
+    """
+
+    flow_mods: Tuple[FlowMod, ...]
+    packet_out_specs: Tuple[Tuple[int, int], ...]
+    #: Whether the event derived anything at all.  An empty derivation leaves
+    #: the engine untouched, so the identical response may be replayed for
+    #: later same-key events without consulting the engine again.
+    derived_any: bool
+
+    def messages_for(self, packet: Packet) -> List[object]:
+        messages: List[object] = list(self.flow_mods)
+        messages.extend(PacketOut(switch_id, port, packet)
+                        for switch_id, port in self.packet_out_specs)
+        return messages
+
+
+class _BatchReplayAdapter:
+    """Hooks a batch-safe NDlog controller into batched trace replay."""
+
+    def __init__(self, controller: "NDlogController"):
+        self.controller = controller
+
+    def key(self, switch_id: int, packet: Packet,
+            in_port: Optional[int]) -> Tuple:
+        """The PacketIn tuple key that fully determines the response."""
+        return self.controller.mapping.packet_in_tuple_from(
+            switch_id, packet, in_port).values
+
+    def handle(self, events: Sequence[PacketInEvent]) -> List[PacketInResponse]:
+        return self.controller.handle_packet_in_batch(events)
+
+
 class NDlogController(Controller):
     """Runs an NDlog program as a reactive SDN controller application."""
 
@@ -136,6 +178,17 @@ class NDlogController(Controller):
         self.priority = priority
         self.tags = tags
         self.record_events = record_events
+        #: Cached batch-safety verdicts (program and mapping are fixed).
+        self._engine_batch_safe: Optional[bool] = None
+        self._batch_replay_safe: Optional[bool] = None
+        #: PacketIn tuple values whose derivation is provably always empty.
+        #: Under the engine-batch-safe analysis a PacketIn joins only tables
+        #: that never change during replay, so an empty derivation stays
+        #: empty for the lifetime of the controller — repeated misses (e.g.
+        #: packets dropped on every repetition of a trace) skip the engine
+        #: entirely.  Disabled while recording events, where each insertion
+        #: must reach the historical log.
+        self._empty_responses: set = set()
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------
@@ -153,6 +206,7 @@ class NDlogController(Controller):
         return engine
 
     def reset(self):
+        self._empty_responses = set()
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------
@@ -177,8 +231,65 @@ class NDlogController(Controller):
 
     def handle_packet_in(self, event: PacketInEvent) -> List[object]:
         packet_in = self.mapping.packet_in_tuple(event)
+        if packet_in.values in self._empty_responses:
+            return []
         derived = self.engine.insert(packet_in)
-        messages: List[object] = []
+        if not derived and self._may_memoise_empty():
+            self._empty_responses.add(packet_in.values)
+        response = self._translate_derived(event, derived)
+        self._consume_packet_outs()
+        return response.messages_for(event.packet)
+
+    def handle_packet_in_batch(self, events: Sequence[PacketInEvent]
+                               ) -> List["PacketInResponse"]:
+        """Handle a burst of PacketIn events, sharing one engine fixpoint.
+
+        Equivalent to calling :meth:`handle_packet_in` for each event in
+        order.  When the program is batch-order-independent (see
+        :mod:`repro.controllers.batching`), all first-occurrence PacketIn
+        tuples are inserted with a single :meth:`Engine.insert_batch`
+        fixpoint; repeated tuples and unsafe programs fall back to per-event
+        insertion, so the responses are always bit-identical to the
+        sequential ones.
+        """
+        responses: List[Optional[PacketInResponse]] = [None] * len(events)
+        tuples = [self.mapping.packet_in_tuple(event) for event in events]
+        empty = PacketInResponse(flow_mods=(), packet_out_specs=(),
+                                 derived_any=False)
+        first_occurrence: Dict[Tuple, int] = {}
+        pending: List[int] = []
+        for index, tup in enumerate(tuples):
+            if tup.values in self._empty_responses:
+                responses[index] = empty
+            elif tup.values not in first_occurrence:
+                first_occurrence[tup.values] = index
+                pending.append(index)
+        if self.engine_batch_safe and len(pending) > 1:
+            derived_lists = self.engine.insert_batch(
+                [tuples[i] for i in pending],
+                consumed_tables=(self.mapping.packet_out_table,))
+            memoise = self._may_memoise_empty()
+            for index, derived in zip(pending, derived_lists):
+                if not derived and memoise:
+                    self._empty_responses.add(tuples[index].values)
+                responses[index] = self._translate_derived(events[index], derived)
+            self._consume_packet_outs()
+            pending = []
+        for index in range(len(events)):
+            if responses[index] is None:
+                derived = self.engine.insert(tuples[index])
+                if not derived and self._may_memoise_empty():
+                    self._empty_responses.add(tuples[index].values)
+                responses[index] = self._translate_derived(events[index],
+                                                           derived)
+                self._consume_packet_outs()
+        return responses
+
+    def _translate_derived(self, event: PacketInEvent,
+                           derived: Sequence[NDTuple]) -> "PacketInResponse":
+        """Turn one event's newly-derived tuples into control messages."""
+        flow_mods: List[FlowMod] = []
+        packet_out_specs: List[Tuple[int, int]] = []
         packet_out_for_switch = False
         matched_ports: List[int] = []
         for tup in derived:
@@ -188,26 +299,71 @@ class NDlogController(Controller):
                 if translated is None:
                     continue
                 switch_id, entry = translated
-                messages.append(FlowMod(switch_id, entry))
+                flow_mods.append(FlowMod(switch_id, entry))
                 if switch_id == event.switch_id and entry.matches(event.packet,
                                                                   event.in_port):
                     matched_ports.append(entry.out_port)
             elif tup.table == self.mapping.packet_out_table:
                 switch_id, port = tup.values[0], tup.values[-1]
                 if isinstance(switch_id, int) and isinstance(port, int):
-                    messages.append(PacketOut(switch_id, port, event.packet))
+                    packet_out_specs.append((switch_id, port))
                     if switch_id == event.switch_id:
                         packet_out_for_switch = True
         if self.auto_packet_out and not packet_out_for_switch:
             forward_ports = [p for p in matched_ports if p != DROP_PORT]
             if forward_ports:
-                messages.append(PacketOut(event.switch_id, forward_ports[0],
-                                          event.packet))
+                packet_out_specs.append((event.switch_id, forward_ports[0]))
+        return PacketInResponse(flow_mods=tuple(flow_mods),
+                                packet_out_specs=tuple(packet_out_specs),
+                                derived_any=bool(derived))
+
+    def _may_memoise_empty(self) -> bool:
+        """Empty responses are permanent only when PacketIns join nothing
+        that replay can change, and skipping inserts must not starve the
+        event log consumed by provenance."""
+        return not self.record_events and self.engine_batch_safe
+
+    def _consume_packet_outs(self):
         # Packet-out tuples are one-shot messages: consume them so they do
         # not accumulate in the engine database between PacketIns.
         for stale in list(self.engine.tuples(self.mapping.packet_out_table)):
             self.engine.consume(stale)
-        return messages
+
+    # ------------------------------------------------------------------
+    # Batched-replay protocol (consumed by NetworkSimulator.run_trace)
+    # ------------------------------------------------------------------
+
+    @property
+    def engine_batch_safe(self) -> bool:
+        """May distinct PacketIn tuples share one engine fixpoint?
+
+        Joint fixpoints keep a *different event log* than sequential
+        insertion (``Engine.insert_batch``), so recording controllers —
+        whose logs feed provenance — always answer ``False`` and fall back
+        to per-event insertion.
+        """
+        if self.record_events:
+            return False
+        if self._engine_batch_safe is None:
+            schemas = self.engine.database.schemas()
+            self._engine_batch_safe = batching.engine_batch_safe(
+                self.program, self.mapping.packet_in_table,
+                self.mapping.packet_out_table, schemas)
+        return self._engine_batch_safe
+
+    def batch_replay_adapter(self) -> Optional["_BatchReplayAdapter"]:
+        """Adapter for batched trace replay, or ``None`` when the program's
+        responses could interact across a burst (then replay is per-packet)."""
+        if self.record_events:
+            return None
+        if self._batch_replay_safe is None:
+            schemas = self.engine.database.schemas()
+            self._batch_replay_safe = batching.batch_replay_safe(
+                self.program, self.mapping, schemas,
+                static_tuples=self.static_tuples)
+        if not self._batch_replay_safe:
+            return None
+        return _BatchReplayAdapter(self)
 
     # ------------------------------------------------------------------
     # Introspection used by the debugger

@@ -75,6 +75,10 @@ class NetworkSimulator:
         self.record_ingress = record_ingress
         self.stats = TrafficStats()
         self._started = False
+        #: Batched-replay state, live only while a burst is being walked:
+        #: precomputed controller responses keyed by PacketIn tuple key.
+        self._burst_adapter = None
+        self._burst_responses: Dict[Tuple, "_PendingResponse"] = {}
 
     # ------------------------------------------------------------------
     # Control-plane plumbing
@@ -106,21 +110,22 @@ class NetworkSimulator:
     # ------------------------------------------------------------------
 
     def inject(self, packet: Packet, at_switch: int,
-               in_port: Optional[int] = None) -> DeliveryRecord:
+               in_port: Optional[int] = None,
+               ingress_entry: Optional[FlowEntry] = None) -> DeliveryRecord:
         """Inject one packet at a switch and walk it to its fate.
 
         If ``in_port`` is not given and the packet's source host is attached
         to the ingress switch, the host's port is used (this is what a real
-        switch would report in the PacketIn).
+        switch would report in the PacketIn).  ``ingress_entry`` lets batched
+        replay reuse the probe phase's ingress lookup result.
         """
         self.start()
         if in_port is None:
-            source = self.topology.host_by_ip(packet.src_ip)
-            if source is not None and source.switch_id == at_switch:
-                in_port = source.port
+            in_port = self._resolve_in_port(packet, at_switch)
         if self.record_ingress:
             self.log.record_packet(at_switch, packet, in_port)
-        record = self._forward(packet, at_switch, in_port)
+        record = self._forward(packet, at_switch, in_port,
+                               ingress_entry=ingress_entry)
         self.log.record_delivery(record)
         self.stats.total += 1
         self.stats.delivery_records.append(record)
@@ -131,14 +136,92 @@ class NetworkSimulator:
             self.stats.dropped += 1
         return record
 
-    def run_trace(self, trace: Iterable[Tuple[int, Packet]]) -> TrafficStats:
-        """Inject every (ingress switch, packet) pair of a trace."""
-        for switch_id, packet in trace:
-            self.inject(packet, switch_id)
+    def _resolve_in_port(self, packet: Packet, at_switch: int) -> Optional[int]:
+        source = self.topology.host_by_ip(packet.src_ip)
+        if source is not None and source.switch_id == at_switch:
+            return source.port
+        return None
+
+    def run_trace(self, trace: Iterable[Tuple[int, Packet]],
+                  batch_size: Optional[int] = None) -> TrafficStats:
+        """Inject every (ingress switch, packet) pair of a trace.
+
+        With ``batch_size`` set (and a controller whose program admits
+        batched replay — see :mod:`repro.controllers.batching`), the trace
+        is replayed in bursts: each burst's ingress table misses are
+        predicted up front, their PacketIn events are handled with one
+        controller batch call per switch (one engine fixpoint per batch),
+        and the packets are then walked in original order consuming the
+        precomputed responses.  Results are bit-identical to per-packet
+        replay; controllers without an adapter simply replay per-packet.
+        """
+        adapter = None
+        if batch_size is not None and batch_size > 1:
+            factory = getattr(self.controller, "batch_replay_adapter", None)
+            if factory is not None:
+                adapter = factory()
+        if adapter is None:
+            for switch_id, packet in trace:
+                self.inject(packet, switch_id)
+            return self.stats
+        trace = list(trace)
+        for start in range(0, len(trace), batch_size):
+            self._run_burst(trace[start:start + batch_size], adapter)
         return self.stats
 
+    def _run_burst(self, burst: Sequence[Tuple[int, Packet]], adapter) -> None:
+        """Replay one burst: probe ingress misses, batch them, then walk.
+
+        The probe phase is exact because adapter eligibility guarantees that
+        a packet's hit/miss status depends only on its PacketIn tuple key
+        (flow entries are wildcard-free and match on exactly the tuple's
+        packet fields), so installs performed mid-burst can only affect
+        packets sharing the installing packet's key — and those are served
+        the same precomputed response instead of being re-probed.
+        """
+        self.start()
+        pending_keys: List[Tuple] = []
+        probe_events: Dict[Tuple, PacketInEvent] = {}
+        walk_plan: List[Tuple[int, Packet, Optional[int],
+                              Optional[FlowEntry]]] = []
+        for switch_id, packet in burst:
+            switch = self.topology.switches.get(switch_id)
+            if switch is None:
+                walk_plan.append((switch_id, packet, None, None))
+                continue
+            in_port = self._resolve_in_port(packet, switch_id)
+            entry = switch.lookup(packet, in_port, tag=self.tag)
+            # A probed hit stays a hit (installs never shadow an existing
+            # exact-match winner mid-burst), so the walk reuses the entry.
+            walk_plan.append((switch_id, packet, in_port, entry))
+            if entry is not None:
+                continue
+            key = adapter.key(switch_id, packet, in_port)
+            if key not in probe_events:
+                probe_events[key] = PacketInEvent(
+                    switch_id=switch_id, packet=packet, in_port=in_port,
+                    time=self.log.clock)
+                pending_keys.append(key)
+        groups: Dict[int, List[Tuple]] = {}
+        for key in pending_keys:
+            groups.setdefault(probe_events[key].switch_id, []).append(key)
+        self._burst_adapter = adapter
+        self._burst_responses = {}
+        try:
+            for keys in groups.values():
+                responses = adapter.handle([probe_events[key] for key in keys])
+                for key, response in zip(keys, responses):
+                    self._burst_responses[key] = _PendingResponse(response)
+            for switch_id, packet, in_port, entry in walk_plan:
+                self.inject(packet, switch_id, in_port=in_port,
+                            ingress_entry=entry)
+        finally:
+            self._burst_adapter = None
+            self._burst_responses = {}
+
     def _forward(self, packet: Packet, switch_id: int,
-                 in_port: Optional[int]) -> DeliveryRecord:
+                 in_port: Optional[int],
+                 ingress_entry: Optional[FlowEntry] = None) -> DeliveryRecord:
         path: List[int] = []
         hops = 0
         time = self.log.clock
@@ -152,7 +235,10 @@ class NetworkSimulator:
                 return DeliveryRecord(time, packet, None, dropped_at=current_switch,
                                       path=tuple(path))
             path.append(current_switch)
-            entry = switch.lookup(current_packet, current_port, tag=self.tag)
+            if hops == 1 and ingress_entry is not None:
+                entry = ingress_entry
+            else:
+                entry = switch.lookup(current_packet, current_port, tag=self.tag)
             if entry is None:
                 outcome = self._handle_table_miss(switch, current_packet, current_port)
                 if outcome is None:
@@ -185,7 +271,7 @@ class NetworkSimulator:
         event = PacketInEvent(switch_id=switch.switch_id, packet=packet,
                               in_port=in_port, time=self.log.clock)
         self.stats.packet_in_count += 1
-        messages = self.controller.handle_packet_in(event)
+        messages = self._controller_response(event)
         packet_outs = self._apply_messages(messages)
         for message in packet_outs:
             if message.switch_id == switch.switch_id:
@@ -197,6 +283,27 @@ class NetworkSimulator:
         if entry is not None and not entry.is_drop():
             return entry.out_port
         return None
+
+    def _controller_response(self, event: PacketInEvent):
+        """The controller's response to one PacketIn, honouring burst state.
+
+        During batched replay the first miss for a key consumes the
+        precomputed response.  Later same-key misses may replay it only when
+        the response derived nothing (the engine was left untouched, so a
+        live call would deterministically return the same answer); anything
+        else goes to the live controller, exactly like per-packet replay.
+        """
+        if self._burst_adapter is not None:
+            key = self._burst_adapter.key(event.switch_id, event.packet,
+                                          event.in_port)
+            pending = self._burst_responses.get(key)
+            if pending is not None:
+                if not pending.served:
+                    pending.served = True
+                    return pending.response.messages_for(event.packet)
+                if not pending.response.derived_any:
+                    return pending.response.messages_for(event.packet)
+        return self.controller.handle_packet_in(event)
 
     def _flood(self, switch: Switch, packet: Packet, in_port: Optional[int],
                time: int, path: List[int]) -> DeliveryRecord:
@@ -218,6 +325,16 @@ class NetworkSimulator:
         # received a gratuitous copy".
         target = packet.dst_ip if packet.dst_ip in candidates else candidates[0]
         return DeliveryRecord(time, packet, target, path=tuple(path))
+
+
+class _PendingResponse:
+    """A precomputed burst response plus its served-once bookkeeping."""
+
+    __slots__ = ("response", "served")
+
+    def __init__(self, response):
+        self.response = response
+        self.served = False
 
 
 def clear_reactive_state(topology: Topology, keep_priority: int = 1) -> None:

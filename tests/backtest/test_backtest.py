@@ -136,6 +136,53 @@ class TestMultiQueryBacktesting:
             report.packet_count * len(candidates)
 
 
+class TestResultFormatting:
+    def test_str_uses_pass_fail_verdicts(self, q1, q1_candidates):
+        """Regression: __str__ printed mangled Wingdings glyphs ("3"/"5")
+        instead of readable verdicts."""
+        good, harmful = q1_candidates
+        backtester = Backtester(q1, ks_threshold=q1.ks_threshold)
+        accepted = backtester.evaluate(good)
+        rejected = backtester.evaluate(harmful)
+        assert "(PASS)" in str(accepted) and "KS=" in str(accepted)
+        assert "(FAIL)" in str(rejected)
+        assert "(3)" not in str(accepted) and "(5)" not in str(rejected)
+
+
+class TestMultiQueryAccounting:
+    def test_elapsed_seconds_recorded_per_candidate(self, q1, q1_candidates):
+        """Regression: multiquery results left elapsed_seconds at 0.0, so
+        reports were not comparable with the sequential backtester."""
+        report = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold
+                                      ).evaluate_all(list(q1_candidates))
+        assert all(r.elapsed_seconds > 0.0 for r in report.results)
+        assert report.elapsed_seconds >= max(r.elapsed_seconds
+                                             for r in report.results)
+
+    def test_overload_check_applied_by_multiquery(self, q1, q1_candidates):
+        """Regression: MultiQueryBacktester.evaluate_all omitted the
+        _overloads_controller check, so a candidate flooding the controller
+        could be accepted jointly but rejected sequentially.  With the
+        growth cap below 1.0 every effective candidate trips the check."""
+        good, _ = q1_candidates
+        sequential = Backtester(q1, ks_threshold=q1.ks_threshold,
+                                max_packet_in_growth=0.5).evaluate_all([good])
+        joint = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold,
+                                     max_packet_in_growth=0.5
+                                     ).evaluate_all([good])
+        assert sequential.results[0].effective
+        assert not sequential.results[0].accepted
+        assert [r.accepted for r in joint.results] == \
+               [r.accepted for r in sequential.results]
+        # Control: without the cap the same candidate passes both paths.
+        relaxed_seq = Backtester(q1, ks_threshold=q1.ks_threshold
+                                 ).evaluate_all([good])
+        relaxed_joint = MultiQueryBacktester(q1, ks_threshold=q1.ks_threshold
+                                             ).evaluate_all([good])
+        assert relaxed_seq.results[0].accepted
+        assert relaxed_joint.results[0].accepted
+
+
 class TestRanking:
     def test_accepted_first_in_cost_order(self, q1, q1_candidates):
         report = Backtester(q1, ks_threshold=q1.ks_threshold).evaluate_all(

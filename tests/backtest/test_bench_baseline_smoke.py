@@ -1,0 +1,49 @@
+"""Smoke invocation of the perf-baseline harness (tiny sizes, every run).
+
+Exercises the full ``benchmarks/bench_baseline.py`` pipeline — engine micro
+workloads plus all Figure 9b backtest modes, including ``workers=2``
+process sharding and batched PacketIn replay — so the parallel and batched
+paths run on every test invocation, not only when someone refreshes the
+baseline.  The harness itself asserts that every mode reproduces the
+sequential accepted set.
+"""
+
+import json
+import pathlib
+import sys
+
+_BENCHMARKS_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
+
+from bench_baseline import REPLAY_BATCH_SIZE, run_baseline  # noqa: E402
+
+from repro.backtest.replay import fork_available  # noqa: E402
+
+
+def test_baseline_harness_smoke(tmp_path):
+    output = tmp_path / "BENCH_baseline.json"
+    payload = run_baseline(smoke=True, workers=2, output=output)
+
+    on_disk = json.loads(output.read_text())
+    assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
+    assert payload["schema_version"] == 1
+    assert payload["smoke"] is True
+
+    engine = payload["engine"]
+    for workload in ("join_insert", "delete"):
+        assert engine[workload]["indexed_seconds"] > 0
+        assert engine[workload]["naive_seconds"] > 0
+
+    fig9b = payload["fig9b"]
+    expected_modes = {"sequential", "sequential_batched", "multiquery"}
+    if fork_available():
+        expected_modes |= {"parallel", "multiquery_parallel"}
+        assert fig9b["parallel"]["workers"] == 2
+        assert fig9b["multiquery_parallel"]["workers"] == 2
+    assert expected_modes <= set(fig9b)
+    accepted = {fig9b[mode]["accepted"] for mode in expected_modes}
+    assert len(accepted) == 1          # every mode agreed on the verdicts
+    assert fig9b["sequential_batched"]["replay_batch_size"] > 1
+    assert 0.0 <= fig9b["multiquery"]["sharing_ratio"] <= 1.0
+    assert REPLAY_BATCH_SIZE > 1

@@ -1,0 +1,102 @@
+"""Engine.insert_batch: one fixpoint per batch, sequential-equivalent results."""
+
+import pytest
+
+from repro.ndlog import Engine, NDTuple, make_tuple, parse_program
+from repro.ndlog.tuples import TableSchema
+
+JOIN_PROGRAM = "r J(@X,A,C) :- R(@X,A,B), S(@X,B,C)."
+
+CHAIN_PROGRAM = (
+    "r1 B(@X,P) :- A(@X,P).\n"
+    "r2 C(@X,P) :- B(@X,P), K(@X,P).\n"
+)
+
+# Q4-style: distinct events derive the *same* message head, which the caller
+# consumes between events — every contributing event must re-report it.
+MESSAGE_PROGRAM = "m Out(@Swi,Prt) :- In(@C,Swi,Sip), Prt := 2."
+
+IN_SCHEMA = TableSchema("In", ("C", "Swi", "Sip"), persistent=False)
+
+
+def _sequential(program, batches, schemas=(), consume_tables=()):
+    engine = Engine(parse_program(program))
+    for schema in schemas:
+        engine.register_schema(schema)
+    results = []
+    for batch in batches:
+        for tup in batch:
+            derived = engine.insert(tup)
+            results.append(derived)
+            for table in consume_tables:
+                for stale in list(engine.tuples(table)):
+                    engine.consume(stale)
+    return results, engine
+
+
+def _batched(program, batches, schemas=(), consume_tables=()):
+    engine = Engine(parse_program(program))
+    for schema in schemas:
+        engine.register_schema(schema)
+    results = []
+    for batch in batches:
+        results.extend(engine.insert_batch(batch,
+                                           consumed_tables=consume_tables))
+        for table in consume_tables:
+            for stale in list(engine.tuples(table)):
+                engine.consume(stale)
+    return results, engine
+
+
+def assert_equivalent(program, batches, schemas=(), consume_tables=()):
+    seq_results, seq_engine = _sequential(program, batches, schemas,
+                                          consume_tables)
+    bat_results, bat_engine = _batched(program, batches, schemas,
+                                       consume_tables)
+    assert bat_results == seq_results
+    assert bat_engine.database.derived_tuples() == \
+        seq_engine.database.derived_tuples()
+    assert bat_engine.database.base_tuples() == seq_engine.database.base_tuples()
+
+
+def test_join_batch_matches_sequential():
+    tuples = [make_tuple("S", "n1", i, i * 3) for i in range(10)]
+    tuples += [make_tuple("R", "n1", f"a{i}", i) for i in range(10)]
+    assert_equivalent(JOIN_PROGRAM, [tuples[:7], tuples[7:15], tuples[15:]])
+
+
+def test_chained_derivations_attributed_to_completing_entry():
+    # K arrives after A in the same batch: the C head only becomes derivable
+    # once both are present, so it belongs to the later entry — exactly when
+    # a sequential insertion would first have reported it.
+    batch = [make_tuple("A", "n1", 1), make_tuple("K", "n1", 1),
+             make_tuple("K", "n1", 2), make_tuple("A", "n1", 2)]
+    assert_equivalent(CHAIN_PROGRAM, [batch])
+
+
+def test_shared_consumed_head_rereported_per_event():
+    batch = [NDTuple("In", ("C", 8, sip)) for sip in (30, 31, 32)]
+    seq_results, _ = _sequential(MESSAGE_PROGRAM, [batch], (IN_SCHEMA,),
+                                 ("Out",))
+    bat_results, _ = _batched(MESSAGE_PROGRAM, [batch], (IN_SCHEMA,), ("Out",))
+    assert bat_results == seq_results
+    # All three events derive the one Out(8, 2) message head.
+    assert all(NDTuple("Out", (8, 2)) in derived for derived in bat_results)
+
+
+def test_persistent_shared_head_reported_once():
+    # Without consumption, the second event's duplicate derivation is not
+    # "newly derived" — matching sequential insert().
+    program = "p Flow(@Swi) :- In(@C,Swi,Sip)."
+    batch = [NDTuple("In", ("C", 8, 30)), NDTuple("In", ("C", 8, 31))]
+    assert_equivalent(program, [batch], (IN_SCHEMA,))
+    bat_results, _ = _batched(program, [batch], (IN_SCHEMA,))
+    assert bat_results[0] == [NDTuple("Flow", (8,))]
+    assert bat_results[1] == []
+
+
+def test_empty_and_single_batches():
+    engine = Engine(parse_program(JOIN_PROGRAM))
+    assert engine.insert_batch([]) == []
+    [derived] = engine.insert_batch([make_tuple("S", "n1", 1, 3)])
+    assert derived == []
