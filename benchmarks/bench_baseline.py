@@ -14,7 +14,14 @@ Measured workloads:
 * ``fig9b.*`` — backtesting the Q1 candidate set under every pipeline mode:
   ``sequential`` (per-candidate, per-packet), ``sequential_batched``
   (batched PacketIn fixpoints), ``multiquery`` (shared trunk),
-  ``parallel`` and ``multiquery_parallel`` (process-sharded candidates).
+  ``parallel`` and ``multiquery_parallel`` (process-sharded candidates);
+* ``distrib.*`` — the same candidate set through the distributed backtest
+  fabric (``repro.distrib``): a ``workers=N`` scaling row per transport
+  (spawn coordinator always; socket coordinator in full runs);
+* ``smoke_reference`` — smoke-size timings recorded alongside every run,
+  which ``tests/perf/test_bench_regress.py`` (the ``bench_regress``
+  marker) re-measures on each tier-1 run and compares with a generous
+  tolerance, so perf regressions fail loudly instead of rotting silently.
 
 All modes must agree on the accepted set — the harness asserts it, so the
 baseline doubles as an end-to-end parity check.  A smoke-size invocation
@@ -50,11 +57,12 @@ from bench_engine_micro import (  # noqa: E402
 
 from repro.backtest import Backtester, MultiQueryBacktester  # noqa: E402
 from repro.backtest.replay import fork_available  # noqa: E402
+from repro.distrib import Scheduler  # noqa: E402
 from repro.ndlog import Engine, NaiveEngine  # noqa: E402
 from repro.repair import ChangeConstant, DeleteSelection, RepairCandidate  # noqa: E402
-from repro.scenarios.q1_copy_paste import build_q1  # noqa: E402
+from repro.scenarios import build_scenario  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -77,7 +85,8 @@ def _diagnosed_candidates(count: int) -> List[RepairCandidate]:
     """The first ``count`` candidates the meta-provenance explorer proposes
     for Q1 — the same workload as ``bench_fig9b_backtest.py``."""
     from repro.debugger import MetaProvenanceDebugger
-    report = MetaProvenanceDebugger(build_q1(), max_candidates=14).diagnose()
+    report = MetaProvenanceDebugger(build_scenario("Q1"),
+                                    max_candidates=14).diagnose()
     return report.exploration.candidates[:count]
 
 
@@ -129,10 +138,12 @@ def bench_fig9b(scenario, candidates, workers: int,
         "sequential": (sequential, None),
         "sequential_batched": (sequential_batched, None),
         "multiquery": (multiquery, None),
+        # With fork these shard over the fork pool; without it evaluate_all
+        # degrades to the fabric's spawn transport (the scenario carries a
+        # ScenarioSpec), so the parallel rows exist on every platform.
+        "parallel": (sequential, workers),
+        "multiquery_parallel": (multiquery, workers),
     }
-    if fork_available():
-        modes["parallel"] = (sequential, workers)
-        modes["multiquery_parallel"] = (multiquery, workers)
 
     out: Dict[str, Dict] = {}
     accepted_sets = {}
@@ -154,7 +165,74 @@ def bench_fig9b(scenario, candidates, workers: int,
         assert accepted == reference, \
             f"mode {name} disagreed with the sequential accepted set"
     out["packet_count"] = len(scenario.trace()) * len(candidates)
+    return out, reference
+
+
+def bench_distrib(scenario, candidates, workers: int,
+                  reference_accepted: List[bool],
+                  include_socket: bool = False) -> Dict:
+    """``workers=N`` scaling rows through the distributed backtest fabric."""
+    out: Dict[str, Dict] = {}
+    transports = ["spawn"] + (["socket"] if include_socket else [])
+    for transport in transports:
+        with Scheduler(transport=transport, workers=workers) as scheduler:
+            backtester = Backtester(scenario,
+                                    ks_threshold=scenario.ks_threshold)
+            started = time.perf_counter()
+            report = backtester.evaluate_all(candidates, scheduler=scheduler)
+            elapsed = time.perf_counter() - started
+        accepted = [r.accepted for r in report.results]
+        assert accepted == reference_accepted, \
+            f"distrib transport {transport} disagreed with sequential"
+        out[f"{transport}_coordinator"] = {
+            "seconds": elapsed,
+            "workers": workers,
+            "candidates": len(candidates),
+            "accepted": sum(accepted),
+        }
     return out
+
+
+def _smoke_reference(workers: int, engine: Optional[Dict] = None,
+                     fig9b: Optional[Dict] = None) -> Dict:
+    """Smoke-size timings recorded with every baseline.
+
+    ``tests/perf/test_bench_regress.py`` re-measures exactly these
+    workloads on each tier-1 run and compares against the committed
+    values, so the reference must stay cheap (seconds).  Smoke runs pass
+    their already-measured ``engine``/``fig9b`` sections instead of
+    re-timing the identical workloads.
+    """
+    if engine is not None and fig9b is not None:
+        sequential = fig9b["sequential"]
+        return {
+            "engine": engine,
+            "fig9b_sequential": {
+                "seconds": sequential["seconds"],
+                "candidates": sequential["candidates"],
+                "accepted": sequential["accepted"],
+                "packet_count": fig9b["packet_count"]
+                // sequential["candidates"],
+            },
+            "workers": workers,
+        }
+    scenario = build_scenario("Q1", repetitions=1)
+    candidates = _smoke_candidates()
+    engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE)
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold)
+    started = time.perf_counter()
+    report = backtester.evaluate_all(candidates)
+    sequential_seconds = time.perf_counter() - started
+    return {
+        "engine": engine,
+        "fig9b_sequential": {
+            "seconds": sequential_seconds,
+            "candidates": len(candidates),
+            "accepted": len(report.accepted()),
+            "packet_count": report.packet_count,
+        },
+        "workers": workers,
+    }
 
 
 def run_baseline(smoke: bool = False, workers: Optional[int] = None,
@@ -163,15 +241,19 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
     if workers is None:
         workers = 2 if smoke else max(2, min(4, cpu_count))
     if smoke:
-        scenario = build_q1(repetitions=1)
+        scenario = build_scenario("Q1", repetitions=1)
         candidates = _smoke_candidates()
         engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE)
         batch_size = 8
     else:
-        scenario = build_q1(repetitions=10)
+        scenario = build_scenario("Q1", repetitions=10)
         candidates = _diagnosed_candidates(9)
         engine = bench_engine(BENCH_JOIN_SIZE, BENCH_DELETE_SIZE)
         batch_size = REPLAY_BATCH_SIZE
+    fig9b, reference_accepted = bench_fig9b(scenario, candidates, workers,
+                                            batch_size=batch_size)
+    distrib = bench_distrib(scenario, candidates, workers,
+                            reference_accepted, include_socket=not smoke)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -182,8 +264,10 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         "fork_available": fork_available(),
         "workers": workers,
         "engine": engine,
-        "fig9b": bench_fig9b(scenario, candidates, workers,
-                             batch_size=batch_size),
+        "fig9b": fig9b,
+        "distrib": distrib,
+        "smoke_reference": (_smoke_reference(workers, engine, fig9b)
+                            if smoke else _smoke_reference(workers)),
     }
     if output is not None:
         output = pathlib.Path(output)
@@ -208,11 +292,14 @@ def main(argv=None) -> int:
         print(f"{'engine.' + label:>24} {entry['indexed_seconds']:>10.4f} "
               f"(naive {entry['naive_seconds']:.4f}, "
               f"{entry['speedup']:.1f}x)")
-    for label, entry in payload["fig9b"].items():
-        if not isinstance(entry, dict):
-            continue
-        suffix = f" ({entry['workers']} workers)" if "workers" in entry else ""
-        print(f"{'fig9b.' + label:>24} {entry['seconds']:>10.3f}{suffix}")
+    for section in ("fig9b", "distrib"):
+        for label, entry in payload[section].items():
+            if not isinstance(entry, dict) or "seconds" not in entry:
+                continue
+            suffix = (f" ({entry['workers']} workers)"
+                      if "workers" in entry else "")
+            print(f"{section + '.' + label:>24} "
+                  f"{entry['seconds']:>10.3f}{suffix}")
     return 0
 
 

@@ -1,3 +1,12 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-worker = repro.distrib.worker:main",
+        ],
+    },
+)

@@ -1,5 +1,6 @@
 """Backtesting of repair candidates against historical traffic."""
 
+from .abort import EarlyAbortPolicy
 from .metrics import (
     KSResult,
     compare_traffic,
@@ -14,6 +15,7 @@ from .ranking import format_table, rank_results, suggestion_list
 from .replay import BacktestReport, BacktestResult, Backtester
 
 __all__ = [
+    "EarlyAbortPolicy",
     "KSResult", "compare_traffic", "delivery_delta", "destination_distribution",
     "ks_two_sample", "per_host_counts", "total_variation_distance",
     "MultiQueryBacktester", "MultiQueryReport", "modified_rule_names",

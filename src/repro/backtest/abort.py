@@ -1,0 +1,99 @@
+"""Early-abort policy for candidate replays.
+
+Backtesting cost is dominated by hopeless candidates: a repair that floods
+the controller or visibly distorts the traffic distribution keeps replaying
+the whole historical trace even though its fate is sealed long before the
+end.  An :class:`EarlyAbortPolicy` lets the replay loops kill such a
+candidate mid-trace.
+
+Two checks run every ``check_every`` packets (once at least
+``min_fraction`` of the trace has replayed):
+
+* **controller overload** — the candidate's cumulative ``PacketIn`` count
+  already exceeds the *final* baseline count times the growth bound.  The
+  counter is monotone, so this abort is *sound*: the full replay would have
+  been rejected by the same ``max_packet_in_growth`` test.
+* **KS mid-trace** (opt-in via ``ks_slack``) — the KS statistic between the
+  baseline's first ``k`` destination samples and the candidate's ``k``
+  samples exceeds ``ks_threshold * ks_slack``.  This is a *heuristic*: a
+  distribution can in principle recover late in the trace, so the slack
+  factor should stay comfortably above 1.
+
+Aborted candidates are reported as rejected (``effective=False,
+accepted=False``) with an ``aborted after k/N packets: ...`` note.  With no
+policy configured every replay runs to completion and results stay
+bit-identical to the serial path — the parity suites run with the policy
+off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .metrics import ks_two_sample
+
+
+@dataclass(frozen=True)
+class EarlyAbortPolicy:
+    """When and why to kill a candidate's replay mid-trace."""
+
+    #: Run the checks every this many replayed packets.
+    check_every: int = 32
+    #: Overload bound; ``None`` falls back to the backtester's
+    #: ``max_packet_in_growth`` (and the check is skipped if both are unset).
+    max_packet_in_growth: Optional[float] = None
+    #: Slack multiplier on the KS threshold for the mid-trace check;
+    #: ``None`` disables the (heuristic) KS abort.
+    ks_slack: Optional[float] = None
+    #: Never abort before this fraction of the trace has replayed.
+    min_fraction: float = 0.25
+
+    def due(self, done: int, total: int) -> bool:
+        """Is a check scheduled after ``done`` of ``total`` packets?"""
+        if done >= total:
+            return False          # a completed replay needs no abort check
+        if done < self.min_fraction * total:
+            return False
+        return done % self.check_every == 0
+
+    def breach(self, stats, done: int, baseline_stats,
+               ks_threshold: Optional[float],
+               max_packet_in_growth: Optional[float]) -> Optional[str]:
+        """Return an abort reason, or ``None`` to keep replaying.
+
+        ``stats`` are the candidate's partial statistics after ``done``
+        packets; ``baseline_stats`` the baseline's *complete* statistics.
+        """
+        growth = self.max_packet_in_growth
+        if growth is None:
+            growth = max_packet_in_growth
+        if growth is not None:
+            bound = max(1, baseline_stats.packet_in_count) * growth
+            if stats.packet_in_count > bound:
+                return (f"controller overload: {stats.packet_in_count} "
+                        f"PacketIns > {bound:.0f} allowed")
+        if self.ks_slack is not None and ks_threshold is not None:
+            prefix = baseline_stats.destination_samples()[:done]
+            ks = ks_two_sample(prefix, stats.destination_samples())
+            if ks.statistic > ks_threshold * self.ks_slack:
+                return (f"KS mid-trace: {ks.statistic:.4f} > "
+                        f"{ks_threshold * self.ks_slack:.4f}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Wire format (the distributed fabric ships policies to workers)
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"check_every": self.check_every,
+                "max_packet_in_growth": self.max_packet_in_growth,
+                "ks_slack": self.ks_slack,
+                "min_fraction": self.min_fraction}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "EarlyAbortPolicy":
+        return cls(check_every=int(wire.get("check_every", 32)),
+                   max_packet_in_growth=wire.get("max_packet_in_growth"),
+                   ks_slack=wire.get("ks_slack"),
+                   min_fraction=float(wire.get("min_fraction", 0.25)))

@@ -38,8 +38,7 @@ from ..sdn.log import DeliveryRecord
 from ..sdn.network import NetworkSimulator, TrafficStats
 from ..sdn.packets import Packet
 from .metrics import compare_traffic
-from .replay import (BacktestReport, BacktestResult, Backtester, ShardOutcome,
-                     _run_sharded)
+from .replay import BacktestReport, BacktestResult, Backtester, ShardOutcome
 
 
 def modified_rule_names(program: Program, candidate: RepairCandidate) -> Set[str]:
@@ -305,6 +304,10 @@ class MultiQueryBacktester(Backtester):
             record_ingress=False)
         shared_count = 0
         candidate_count = 0
+        abort_note = None
+        policy = self.abort_policy
+        threshold = None if self.use_significance else self.ks_threshold
+        total = len(trunk.trace)
         for index, (switch_id, packet) in enumerate(trunk.trace):
             if checker.affects_anywhere(packet, trunk.switch_ids):
                 candidate_count += 1
@@ -313,34 +316,42 @@ class MultiQueryBacktester(Backtester):
                 shared_count += 1
                 self._adopt_base_record(simulator, trunk.base_records[index],
                                         trunk.base_deltas[index])
+            if policy is not None and policy.due(index + 1, total):
+                reason = policy.breach(simulator.stats, index + 1,
+                                       self.baseline(), threshold,
+                                       self.max_packet_in_growth)
+                if reason is not None:
+                    abort_note = (f"aborted after {index + 1}/{total} "
+                                  f"packets: {reason}")
+                    break
         stats = simulator.stats
         ks = compare_traffic(self.baseline(), stats)
-        effective = bool(self.scenario.is_effective(stats))
-        accepted = effective and not self._distorts(ks) \
-            and not self._overloads_controller(stats)
+        if abort_note is not None:
+            effective = accepted = False
+            notes = candidate.notes + (abort_note,)
+        else:
+            effective = bool(self.scenario.is_effective(stats))
+            accepted = effective and not self._distorts(ks) \
+                and not self._overloads_controller(stats)
+            notes = candidate.notes
         elapsed = _time.perf_counter() - started
         result = BacktestResult(candidate=candidate, stats=stats, ks=ks,
                                 effective=effective, accepted=accepted,
-                                elapsed_seconds=elapsed, notes=candidate.notes)
+                                elapsed_seconds=elapsed, notes=notes)
         return ShardOutcome(result=result, shared_evaluations=shared_count,
                             candidate_evaluations=candidate_count)
 
     def evaluate_all(self, candidates: Sequence[RepairCandidate],
-                     workers: Optional[int] = None) -> MultiQueryReport:
+                     workers: Optional[int] = None,
+                     scheduler=None) -> MultiQueryReport:
         started = _time.perf_counter()
         report = MultiQueryReport(baseline=self.baseline())
-        workers = self._use_workers(candidates, workers)
-        trunk = self._build_trunk()
-        if workers > 1:
-            outcomes = _run_sharded(self, list(candidates), trunk, workers)
-        else:
-            outcomes = [self._evaluate_for_shard(candidate, trunk)
-                        for candidate in candidates]
+        outcomes = self._run_candidates(list(candidates), workers, scheduler)
         for outcome in outcomes:
             report.results.append(outcome.result)
             report.shared_evaluations += outcome.shared_evaluations
             report.candidate_evaluations += outcome.candidate_evaluations
-        report.packet_count = len(trunk.trace)
+        report.packet_count = len(self._trace())
         report.elapsed_seconds = _time.perf_counter() - started
         return report
 

@@ -26,17 +26,21 @@ from ..ndlog.ast import Program
 from ..repair.apply import RepairedProgram, apply_candidate
 from ..repair.candidates import RepairCandidate
 from ..sdn.network import NetworkSimulator, TrafficStats
+from .abort import EarlyAbortPolicy
 from .metrics import KSResult, compare_traffic
 
 
 def fork_available() -> bool:
-    """Can candidate evaluation be sharded across processes?
+    """Can candidate evaluation be sharded across ``fork`` processes?
 
-    Sharding relies on ``fork`` start semantics: workers inherit the
+    Fork sharding is the cheapest parallel path: workers inherit the
     already-computed shared trunk (baseline statistics, base delivery
     records, response caches) by copy-on-write instead of pickling scenario
-    closures, which are not picklable.  On platforms without ``fork`` the
-    backtesters silently fall back to the serial path.
+    closures, which are not picklable.  On platforms without ``fork``
+    (macOS/Windows default to ``spawn``) the backtesters degrade to the
+    distributed fabric's spawn transport when the scenario carries a
+    :class:`~repro.scenarios.spec.ScenarioSpec`, and only fall back to the
+    serial path when it does not.
     """
     return "fork" in multiprocessing.get_all_start_methods()
 
@@ -136,7 +140,8 @@ class Backtester:
                  trace_limit: Optional[int] = None,
                  max_packet_in_growth: Optional[float] = None,
                  workers: int = 1,
-                 replay_batch_size: Optional[int] = None):
+                 replay_batch_size: Optional[int] = None,
+                 abort_policy: Optional[EarlyAbortPolicy] = None):
         self.scenario = scenario
         self.ks_threshold = ks_threshold
         self.alpha = alpha
@@ -155,6 +160,11 @@ class Backtester:
         #: burst of PacketIns) when the controller program admits it; see
         #: :mod:`repro.controllers.batching`.
         self.replay_batch_size = replay_batch_size
+        #: Optional mid-trace kill switch for hopeless candidates; see
+        #: :class:`repro.backtest.abort.EarlyAbortPolicy`.  ``None`` (the
+        #: default) replays every candidate to completion, keeping all
+        #: execution paths bit-identical.
+        self.abort_policy = abort_policy
         self._baseline: Optional[TrafficStats] = None
 
     # ------------------------------------------------------------------
@@ -195,17 +205,58 @@ class Backtester:
     def evaluate(self, candidate: RepairCandidate) -> BacktestResult:
         started = _time.perf_counter()
         repaired = apply_candidate(self.scenario.program, candidate)
-        stats = self.run_program(repaired.program,
-                                 extra_tuples=repaired.inserted_tuples,
-                                 removed_tuples=repaired.removed_tuples)
+        abort_note = None
+        if self.abort_policy is None:
+            stats = self.run_program(repaired.program,
+                                     extra_tuples=repaired.inserted_tuples,
+                                     removed_tuples=repaired.removed_tuples)
+        else:
+            stats, abort_note = self._run_program_with_abort(repaired)
         ks = compare_traffic(self.baseline(), stats)
-        effective = bool(self.scenario.is_effective(stats))
-        accepted = effective and not self._distorts(ks) \
-            and not self._overloads_controller(stats)
+        if abort_note is not None:
+            effective = accepted = False
+            notes = candidate.notes + (abort_note,)
+        else:
+            effective = bool(self.scenario.is_effective(stats))
+            accepted = effective and not self._distorts(ks) \
+                and not self._overloads_controller(stats)
+            notes = candidate.notes
         elapsed = _time.perf_counter() - started
         return BacktestResult(candidate=candidate, stats=stats, ks=ks,
                               effective=effective, accepted=accepted,
-                              elapsed_seconds=elapsed, notes=candidate.notes)
+                              elapsed_seconds=elapsed, notes=notes)
+
+    def _run_program_with_abort(self, repaired: RepairedProgram):
+        """Per-packet replay with the abort policy's mid-trace checks.
+
+        Returns ``(stats, note)`` where ``note`` is ``None`` for a completed
+        replay or the abort reason (the statistics then cover only the
+        replayed prefix).  Abortable replays forgo burst batching: the
+        policy needs to observe statistics between packets.
+        """
+        policy = self.abort_policy
+        baseline = self.baseline()
+        topology = self.scenario.build_topology()
+        controller = self.scenario.build_controller(
+            program=repaired.program,
+            extra_tuples=repaired.inserted_tuples,
+            removed_tuples=repaired.removed_tuples)
+        simulator = NetworkSimulator(
+            topology, controller,
+            require_packet_out=self.scenario.require_packet_out,
+            record_ingress=False)
+        trace = self._trace()
+        threshold = None if self.use_significance else self.ks_threshold
+        for done, (switch_id, packet) in enumerate(trace, 1):
+            simulator.inject(packet, switch_id)
+            if policy.due(done, len(trace)):
+                reason = policy.breach(simulator.stats, done, baseline,
+                                       threshold, self.max_packet_in_growth)
+                if reason is not None:
+                    note = (f"aborted after {done}/{len(trace)} packets: "
+                            f"{reason}")
+                    return simulator.stats, note
+        return simulator.stats, None
 
     def _overloads_controller(self, stats: TrafficStats) -> bool:
         if self.max_packet_in_growth is None:
@@ -234,25 +285,47 @@ class Backtester:
         return None
 
     def _use_workers(self, candidates, workers: Optional[int]) -> int:
+        """Effective worker count (platform capability is decided later)."""
         workers = self.workers if workers is None else workers
         if workers is None or workers <= 1 or len(candidates) <= 1:
             return 1
-        if not fork_available():
-            return 1
         return workers
 
+    def _run_candidates(self, candidates: List[RepairCandidate],
+                        workers: Optional[int],
+                        scheduler) -> List[ShardOutcome]:
+        """Evaluate candidates via the requested execution path.
+
+        ``scheduler`` (a :class:`repro.distrib.Scheduler`) routes through
+        the distributed backtest fabric.  Otherwise ``workers > 1`` shards
+        over a ``fork`` pool when the platform has one; without ``fork`` the
+        evaluation degrades to the fabric's ``spawn`` transport (the
+        scenario's :class:`ScenarioSpec` makes workers reconstructible)
+        rather than silently running serial.  All paths return bit-identical
+        outcomes in input order.
+        """
+        if scheduler is not None:
+            return scheduler.run(self, candidates)
+        workers = self._use_workers(candidates, workers)
+        if workers > 1:
+            if fork_available():
+                trunk = self._build_trunk()
+                return _run_sharded(self, candidates, trunk, workers)
+            if getattr(self.scenario, "spec", None) is not None:
+                from ..distrib import Scheduler
+                with Scheduler(transport="spawn", workers=workers) as degraded:
+                    return degraded.run(self, candidates)
+        trunk = self._build_trunk()
+        return [self._evaluate_for_shard(candidate, trunk)
+                for candidate in candidates]
+
     def evaluate_all(self, candidates: Sequence[RepairCandidate],
-                     workers: Optional[int] = None) -> BacktestReport:
+                     workers: Optional[int] = None,
+                     scheduler=None) -> BacktestReport:
         started = _time.perf_counter()
         report = BacktestReport(baseline=self.baseline())
         report.packet_count = len(self._trace())
-        workers = self._use_workers(candidates, workers)
-        trunk = self._build_trunk()
-        if workers > 1:
-            outcomes = _run_sharded(self, list(candidates), trunk, workers)
-        else:
-            outcomes = [self._evaluate_for_shard(candidate, trunk)
-                        for candidate in candidates]
+        outcomes = self._run_candidates(list(candidates), workers, scheduler)
         report.results.extend(outcome.result for outcome in outcomes)
         report.elapsed_seconds = _time.perf_counter() - started
         return report

@@ -1,0 +1,36 @@
+"""Distributed backtest fabric (scale-out candidate evaluation).
+
+Backtesting dominates the repair loop's turnaround (Figure 9b): every
+candidate replays the whole historical trace.  This package turns that
+embarrassingly parallel workload into a schedulable fabric:
+
+* :mod:`~repro.distrib.jobs` — declarative job wire format built on
+  spawn-safe :class:`~repro.scenarios.spec.ScenarioSpec` handles and the
+  structural candidate encoding of :mod:`repro.repair.candidates`;
+* :mod:`~repro.distrib.coordinator` — pull-based work-queue dispatch with
+  input-order result streaming, progress callbacks and optional
+  early-abort of hopeless replays;
+* :mod:`~repro.distrib.transport` — in-process, ``spawn``
+  multiprocessing, and length-prefixed TCP transports (the latter served
+  by ``python -m repro.distrib.worker`` processes, which may live on
+  other machines);
+* :mod:`~repro.distrib.worker` — the ``repro-worker`` entry point.
+
+Every transport is an optimisation, not an approximation: with the abort
+policy off, reports are bit-identical to serial evaluation (asserted
+across Q1-Q5 by ``tests/distrib/test_transport_parity.py``).
+"""
+
+from ..backtest.abort import EarlyAbortPolicy
+from .coordinator import Coordinator, Scheduler
+from .jobs import (BACKTESTER_CLASSES, DistribError, JobRuntime,
+                   build_job_wire, register_backtester)
+from .transport import (BaseTransport, InProcessTransport, SocketTransport,
+                        SpawnTransport, TransportError, make_transport)
+
+__all__ = [
+    "BACKTESTER_CLASSES", "BaseTransport", "Coordinator", "DistribError",
+    "EarlyAbortPolicy", "InProcessTransport", "JobRuntime", "Scheduler",
+    "SocketTransport", "SpawnTransport", "TransportError", "build_job_wire",
+    "make_transport", "register_backtester",
+]

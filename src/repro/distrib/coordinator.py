@@ -1,0 +1,122 @@
+"""The work-queue coordinator: one candidate queue, many workers.
+
+The coordinator replaces PR 2's static fork sharding with dynamic
+pull-based dispatch: per-candidate work items sit in one queue, workers
+take the next item when they finish the last, and results stream back as
+they complete.  The coordinator
+
+* reorders streamed results into **input order** (the order callers and
+  reports rely on),
+* re-attaches the caller's candidate objects (workers evaluate stripped
+  copies; the meta provenance tree never crosses the wire),
+* invokes an optional **progress callback** per completed candidate, and
+* forwards an optional :class:`~repro.backtest.abort.EarlyAbortPolicy` so
+  workers can kill a hopeless candidate's replay mid-trace.
+
+:class:`Scheduler` is the user-facing bundle (transport choice + worker
+count + callbacks) that plugs into ``Backtester.evaluate_all(...,
+scheduler=...)``::
+
+    from repro.distrib import Scheduler
+    with Scheduler(transport="spawn", workers=4) as scheduler:
+        report = Backtester(scenario).evaluate_all(candidates,
+                                                   scheduler=scheduler)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..backtest.abort import EarlyAbortPolicy
+from ..backtest.replay import Backtester, BacktestResult, ShardOutcome
+from ..repair.candidates import RepairCandidate
+from .jobs import DistribError, build_job_wire
+from .transport import BaseTransport, make_transport
+
+#: ``progress(done, total, result)`` — called in completion order, with the
+#: candidate already re-attached to the result.
+ProgressCallback = Callable[[int, int, BacktestResult], None]
+
+
+class Coordinator:
+    """Runs one backtest job through a transport, preserving input order."""
+
+    def __init__(self, transport: BaseTransport,
+                 progress: Optional[ProgressCallback] = None):
+        self.transport = transport
+        self.progress = progress
+
+    def run(self, backtester: Backtester,
+            candidates: Sequence[RepairCandidate],
+            abort_policy: Optional[EarlyAbortPolicy] = None
+            ) -> List[ShardOutcome]:
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        job_wire = build_job_wire(backtester, candidates,
+                                  abort_policy=abort_policy)
+        outcomes: List[Optional[ShardOutcome]] = [None] * len(candidates)
+        done = 0
+        lock = threading.Lock()   # socket transports deliver from threads
+
+        def on_result(index: int, outcome: ShardOutcome) -> None:
+            nonlocal done
+            with lock:
+                outcome.result.candidate = candidates[index]
+                outcomes[index] = outcome
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(candidates), outcome.result)
+
+        self.transport.run_job(job_wire, on_result)
+        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise DistribError(f"transport {self.transport.name!r} returned "
+                               f"no result for candidates {missing}")
+        return outcomes
+
+
+class Scheduler:
+    """Transport + worker count + callbacks, pluggable into ``evaluate_all``.
+
+    ``transport`` is a name (``"inprocess"``, ``"spawn"``, ``"socket"``)
+    or an already-configured :class:`BaseTransport` instance.  Name-built
+    transports are owned by the scheduler and shut down by :meth:`close`
+    (or the context manager); instances are borrowed and left running.
+    """
+
+    def __init__(self, transport: Union[str, BaseTransport] = "spawn",
+                 workers: int = 2,
+                 progress: Optional[ProgressCallback] = None,
+                 early_abort: Optional[EarlyAbortPolicy] = None,
+                 **transport_options):
+        if isinstance(transport, BaseTransport):
+            if transport_options:
+                raise DistribError("transport_options only apply when the "
+                                   "scheduler builds the transport itself")
+            self.transport = transport
+            self._owns_transport = False
+        else:
+            self.transport = make_transport(transport, workers=workers,
+                                            **transport_options)
+            self._owns_transport = True
+        self.workers = workers
+        self.early_abort = early_abort
+        self._coordinator = Coordinator(self.transport, progress=progress)
+
+    def run(self, backtester: Backtester,
+            candidates: Sequence[RepairCandidate]) -> List[ShardOutcome]:
+        """Evaluate ``candidates`` for ``backtester`` through the fabric."""
+        return self._coordinator.run(backtester, candidates,
+                                     abort_policy=self.early_abort)
+
+    def close(self) -> None:
+        if self._owns_transport:
+            self.transport.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,124 @@
+"""Backtest jobs: what crosses the wire, and how workers execute it.
+
+A *job* describes one ``evaluate_all`` call declaratively so that a process
+with no shared memory — a ``spawn`` child or a worker on another machine —
+can reconstruct everything it needs:
+
+* the scenario, as a :class:`~repro.scenarios.spec.ScenarioSpec` (name +
+  builder parameters + seed; see the registry in :mod:`repro.scenarios`),
+* the backtester (registered class name + constructor configuration,
+  including the optional early-abort policy),
+* the candidate list, in the structural wire format of
+  :mod:`repro.repair.candidates`.
+
+Everything in the job wire dict is JSON-able, so any transport that can
+move dicts can move jobs.  Results flow the other way as
+:class:`~repro.backtest.replay.ShardOutcome` objects with the candidate
+stripped (the coordinator re-attaches its own copy, meta provenance tree
+included), exactly like the fork pool does.
+
+The :class:`JobRuntime` is the worker half: it rebuilds the scenario and
+backtester once per job, computes the shared trunk lazily on the first
+evaluation, and then serves per-candidate work items by index.  Because the
+runtime calls the same ``_build_trunk`` / ``_evaluate_for_shard`` methods
+as the serial and fork paths, its results are bit-identical to both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..backtest.abort import EarlyAbortPolicy
+from ..backtest.multiquery import MultiQueryBacktester
+from ..backtest.replay import Backtester, ShardOutcome
+from ..repair.candidates import (RepairCandidate, candidate_from_wire,
+                                 candidate_to_wire)
+from ..scenarios.spec import ScenarioSpec
+
+
+class DistribError(RuntimeError):
+    """Raised for fabric-level failures (bad jobs, unusable scenarios)."""
+
+
+#: Backtester classes a job may name.  Subclasses must register themselves
+#: (:func:`register_backtester`) to be evaluable on spawn/remote workers.
+BACKTESTER_CLASSES: Dict[str, Type[Backtester]] = {}
+
+
+def register_backtester(cls: Type[Backtester],
+                        name: Optional[str] = None) -> Type[Backtester]:
+    """Register a backtester class for wire-format jobs (usable as a
+    decorator)."""
+    BACKTESTER_CLASSES[name or cls.__name__] = cls
+    return cls
+
+
+register_backtester(Backtester)
+register_backtester(MultiQueryBacktester)
+
+#: Constructor keywords that travel with a job.  ``workers`` intentionally
+#: stays local: parallelism is the transport's business, and a worker that
+#: forked its own pool would double-shard.
+_CONFIG_FIELDS = ("ks_threshold", "alpha", "use_significance", "trace_limit",
+                  "max_packet_in_growth", "replay_batch_size")
+
+
+def build_job_wire(backtester: Backtester,
+                   candidates: Sequence[RepairCandidate],
+                   abort_policy: Optional[EarlyAbortPolicy] = None) -> Dict:
+    """Describe one ``evaluate_all`` call as a JSON-able job dict."""
+    spec = getattr(backtester.scenario, "spec", None)
+    if spec is None:
+        raise DistribError(
+            "scenario has no ScenarioSpec; build it via "
+            "repro.scenarios.build_scenario (or set scenario.spec) so "
+            "spawn/remote workers can reconstruct it")
+    class_name = type(backtester).__name__
+    if BACKTESTER_CLASSES.get(class_name) is not type(backtester):
+        raise DistribError(
+            f"backtester class {class_name!r} is not registered for "
+            f"distributed evaluation; call repro.distrib.register_backtester")
+    if abort_policy is None:
+        abort_policy = backtester.abort_policy
+    return {
+        "spec": spec.to_wire(),
+        "backtester": class_name,
+        "config": {key: getattr(backtester, key) for key in _CONFIG_FIELDS},
+        "abort": abort_policy.to_wire() if abort_policy is not None else None,
+        "candidates": [candidate_to_wire(c) for c in candidates],
+    }
+
+
+class JobRuntime:
+    """Worker-side execution state for one job."""
+
+    def __init__(self, job_wire: Dict):
+        try:
+            spec = ScenarioSpec.from_wire(job_wire["spec"])
+            cls = BACKTESTER_CLASSES[job_wire["backtester"]]
+            config = dict(job_wire["config"])
+            abort_wire = job_wire.get("abort")
+            self.candidates: List[RepairCandidate] = [
+                candidate_from_wire(w) for w in job_wire["candidates"]]
+        except (KeyError, TypeError) as exc:
+            raise DistribError(f"malformed job wire: {exc!r}") from exc
+        self.scenario = spec.build()
+        abort_policy = (EarlyAbortPolicy.from_wire(abort_wire)
+                        if abort_wire is not None else None)
+        self.backtester = cls(self.scenario, workers=1,
+                              abort_policy=abort_policy, **config)
+        self._trunk = None
+        self._trunk_built = False
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def evaluate(self, index: int) -> ShardOutcome:
+        """Evaluate candidate ``index``; the result ships candidate-free."""
+        if not self._trunk_built:
+            self._trunk = self.backtester._build_trunk()
+            self._trunk_built = True
+        outcome = self.backtester._evaluate_for_shard(
+            self.candidates[index], self._trunk)
+        outcome.result.candidate = None
+        return outcome

@@ -1,0 +1,599 @@
+"""Pluggable transports for the distributed backtest fabric.
+
+A transport owns a set of workers and moves one :mod:`~repro.distrib.jobs`
+job at a time through them under *pull* scheduling: workers ask for the
+next candidate index when they become free, so slow candidates (deep repair
+programs, abort-policy survivors) never stall a statically assigned shard.
+Three implementations:
+
+``InProcessTransport``
+    Evaluates in the calling process through the same
+    :class:`~repro.distrib.jobs.JobRuntime` the remote workers use —
+    the reference implementation and the zero-dependency fallback.
+
+``SpawnTransport``
+    A pool of ``spawn``-start multiprocessing workers.  Unlike the fork
+    pool in :mod:`repro.backtest.replay`, nothing is inherited: the job
+    wire is the only input, which is what makes this path work on
+    macOS/Windows (no ``fork``) and keeps it semantically identical to a
+    remote worker.
+
+``SocketTransport``
+    A length-prefixed TCP protocol (4-byte big-endian frame length +
+    pickled dict) served to ``repro-worker`` processes
+    (``python -m repro.distrib.worker --connect HOST:PORT``), which may run
+    on other machines and drain one shared candidate queue.  By default it
+    also spawns ``workers`` local worker processes so a single-machine run
+    needs no manual setup.  Workers that disconnect mid-candidate have
+    their item re-queued for the surviving workers.
+
+Transports are reusable across jobs (workers persist between ``run_job``
+calls) and are context managers; ``close()`` shuts the workers down.
+
+Security note: frames are pickled, so the socket transport must only be
+used between mutually trusted machines (same codebase, same operator) —
+the standard assumption for a compute cluster draining one queue.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import traceback
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from .jobs import DistribError, JobRuntime
+
+#: Callback invoked by ``run_job`` as results stream in (completion order).
+ResultCallback = Callable[[int, object], None]
+
+
+class TransportError(DistribError):
+    """A worker or connection failed in a way the transport cannot hide."""
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol (shared by the socket transport and repro-worker)
+# ---------------------------------------------------------------------------
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, message: Dict) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """Read one frame; ``None`` on a cleanly closed connection."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+class BaseTransport:
+    """Interface: run jobs through a (possibly remote) worker set."""
+
+    name = "?"
+
+    def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# In-process
+# ---------------------------------------------------------------------------
+
+
+class InProcessTransport(BaseTransport):
+    """Evaluate in the calling process via the worker-side runtime.
+
+    This still exercises the whole wire path (spec rebuild, candidate
+    decode), so it doubles as the cheapest integration test of a job.
+    """
+
+    name = "inprocess"
+
+    def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
+        runtime = JobRuntime(job_wire)
+        for index in range(len(runtime)):
+            on_result(index, runtime.evaluate(index))
+
+
+# ---------------------------------------------------------------------------
+# Spawn multiprocessing
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker_main(job_queue, task_queue, result_queue):
+    """Worker loop: one job at a time, pull indices until the job sentinel.
+
+    Runs in a ``spawn`` child: module-level so it can be located by import,
+    and parameterised only by queues and wire dicts.
+    """
+    while True:
+        job_wire = job_queue.get()
+        if job_wire is None:
+            break
+        runtime = None
+        error = None
+        try:
+            runtime = JobRuntime(job_wire)
+        except BaseException:            # noqa: BLE001 — report, then drain
+            error = traceback.format_exc()
+            result_queue.put(("job_error", error))
+        while True:
+            index = task_queue.get()
+            if index is None:
+                result_queue.put(("worker_done", None))
+                break
+            if runtime is None:
+                continue                 # job never started; drain the queue
+            try:
+                outcome = runtime.evaluate(index)
+            except BaseException:        # noqa: BLE001
+                result_queue.put(("item_error",
+                                  (index, traceback.format_exc())))
+            else:
+                result_queue.put(("result", (index, outcome)))
+
+
+class SpawnTransport(BaseTransport):
+    """A persistent pool of ``spawn``-start worker processes."""
+
+    name = "spawn"
+
+    def __init__(self, workers: int = 2, result_timeout: float = 600.0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.result_timeout = result_timeout
+        self._processes: List = []
+        self._job_queues: List = []
+        self._task_queue = None
+        self._result_queue = None
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        import multiprocessing
+        context = multiprocessing.get_context("spawn")
+        self._task_queue = context.Queue()
+        self._result_queue = context.Queue()
+        for _ in range(self.workers):
+            job_queue = context.Queue()
+            process = context.Process(
+                target=_spawn_worker_main,
+                args=(job_queue, self._task_queue, self._result_queue),
+                daemon=True)
+            process.start()
+            self._job_queues.append(job_queue)
+            self._processes.append(process)
+
+    def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
+        self._ensure_started()
+        for job_queue in self._job_queues:
+            job_queue.put(job_wire)
+        count = len(job_wire["candidates"])
+        for index in range(count):
+            self._task_queue.put(index)
+        for _ in range(self.workers):
+            self._task_queue.put(None)
+        remaining = count
+        workers_done = 0
+        failure = None
+        while remaining > 0 or workers_done < self.workers:
+            if workers_done >= self.workers and remaining > 0:
+                # Every worker signed off yet items are missing — a failing
+                # worker drained them (its job never started).
+                if failure is None:
+                    failure = f"{remaining} items were never evaluated"
+                break
+            try:
+                kind, payload = self._result_queue.get(
+                    timeout=self.result_timeout)
+            except _queue.Empty:
+                self.close(terminate=True)
+                raise TransportError(
+                    f"spawn workers produced no result for "
+                    f"{self.result_timeout}s ({remaining} items outstanding)")
+            if kind == "result":
+                remaining -= 1
+                index, outcome = payload
+                on_result(index, outcome)
+            elif kind == "item_error":
+                remaining -= 1
+                if failure is None:
+                    failure = f"candidate {payload[0]} failed:\n{payload[1]}"
+            elif kind == "job_error":
+                # The failing worker keeps draining the queue so its peers
+                # and the sentinel protocol stay coherent; items it swallows
+                # surface through ``failure`` when the workers sign off.
+                if failure is None:
+                    failure = f"job setup failed:\n{payload}"
+            elif kind == "worker_done":
+                workers_done += 1
+        if failure is not None:
+            self.close(terminate=True)
+            raise TransportError(failure)
+
+    def close(self, terminate: bool = False) -> None:
+        for job_queue in self._job_queues:
+            try:
+                job_queue.put(None)
+            except (ValueError, OSError):
+                pass
+        for process in self._processes:
+            if terminate:
+                process.terminate()
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._processes = []
+        self._job_queues = []
+        self._task_queue = None
+        self._result_queue = None
+
+
+# ---------------------------------------------------------------------------
+# TCP sockets
+# ---------------------------------------------------------------------------
+
+
+class _WorkerConnection(threading.Thread):
+    """Server-side handler: speaks the frame protocol with one worker."""
+
+    def __init__(self, transport: "SocketTransport", sock: socket.socket):
+        super().__init__(daemon=True)
+        self.transport = transport
+        self.sock = sock
+
+    def run(self):
+        transport = self.transport
+        try:
+            hello = recv_frame(self.sock)
+            if not hello or hello.get("type") != "hello":
+                return
+            while True:
+                job = transport._await_job(self)
+                if job is None:
+                    self._send_quietly({"type": "shutdown"})
+                    return
+                job_id, job_wire = job
+                send_frame(self.sock, {"type": "job", "job": job_wire})
+                self._serve_items(job_id)
+        except (OSError, EOFError, pickle.PickleError):
+            pass
+        finally:
+            transport._connection_lost(self)
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+    def _serve_items(self, job_id: int) -> None:
+        current: Optional[int] = None
+        while True:
+            try:
+                message = recv_frame(self.sock)
+            except OSError:
+                message = None           # reset mid-frame == closed
+            if message is None:
+                # Connection died; put an in-flight item back on the queue.
+                if current is not None:
+                    self.transport._requeue(job_id, current)
+                raise EOFError
+            kind = message.get("type")
+            if kind == "result":
+                self.transport._deliver(job_id, message["index"],
+                                        message["outcome"])
+                current = None
+            elif kind == "error":
+                self.transport._item_failed(job_id, message.get("index"),
+                                            message.get("message", ""))
+                current = None
+            elif kind == "job_error":
+                self.transport._item_failed(job_id, None,
+                                            message.get("message", ""))
+                send_frame(self.sock, {"type": "job_done"})
+                return
+            elif kind != "next":
+                continue
+            if kind in ("next", "result", "error"):
+                index = self.transport._next_index(job_id)
+                if index is None:
+                    send_frame(self.sock, {"type": "job_done"})
+                    return
+                current = index
+                try:
+                    send_frame(self.sock, {"type": "item", "index": index})
+                except OSError:
+                    # The worker died between its last frame and our send;
+                    # the popped item must go back for the survivors.
+                    self.transport._requeue(job_id, index)
+                    raise
+
+    def _send_quietly(self, message: Dict) -> None:
+        try:
+            send_frame(self.sock, message)
+        except OSError:
+            pass
+
+
+class SocketTransport(BaseTransport):
+    """Serve jobs to ``repro-worker`` processes over TCP.
+
+    ``workers`` local worker subprocesses are spawned automatically unless
+    ``spawn_workers=False`` — set that when pointing real remote workers at
+    ``host:port`` (use ``port=<fixed>`` and ``host=0.0.0.0`` to listen
+    beyond loopback).
+    """
+
+    name = "socket"
+
+    def __init__(self, workers: int = 2, host: str = "127.0.0.1",
+                 port: int = 0, spawn_workers: bool = True,
+                 result_timeout: float = 600.0):
+        if spawn_workers and workers < 1:
+            raise ValueError("workers must be >= 1 when spawning locally")
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.result_timeout = result_timeout
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._worker_processes: List[subprocess.Popen] = []
+        self._connections: List[_WorkerConnection] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._shutdown = False
+        # Per-job state, guarded by _lock.
+        self._job_id = 0
+        self._job_wire: Optional[Dict] = None
+        self._pending: deque = deque()
+        self._outstanding = 0
+        self._on_result: Optional[ResultCallback] = None
+        self._failure: Optional[str] = None
+        self._job_finished = threading.Condition(self._lock)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self):
+        """(host, port) the transport listens on (starts it if needed)."""
+        self._ensure_started()
+        return self._listener.getsockname()[:2]
+
+    def _ensure_started(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+        if self.spawn_workers:
+            self._spawn_local_workers()
+
+    def _spawn_local_workers(self) -> None:
+        host, port = self._listener.getsockname()[:2]
+        if host == "0.0.0.0":
+            host = "127.0.0.1"
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else src_dir + os.pathsep + existing)
+        for _ in range(self.workers):
+            self._worker_processes.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.distrib.worker",
+                 "--connect", f"{host}:{port}"],
+                env=env))
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _WorkerConnection(self, sock)
+            with self._lock:
+                if self._shutdown:
+                    sock.close()
+                    return
+                self._connections.append(connection)
+            connection.start()
+
+    def close(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            connections = list(self._connections)
+            self._wakeup.notify_all()
+            self._job_finished.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for process in self._worker_processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+        for connection in connections:
+            connection.join(timeout=10)
+        # Reset to a restartable state: a later run_job rebuilds the
+        # listener and spawns fresh workers, like SpawnTransport does.
+        with self._lock:
+            self._shutdown = False
+            self._connections = []
+        self._worker_processes = []
+        self._listener = None
+        self._accept_thread = None
+
+    # -- job execution ------------------------------------------------------
+
+    def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
+        self._ensure_started()
+        count = len(job_wire["candidates"])
+        with self._lock:
+            if self._job_wire is not None:
+                raise TransportError("transport already has a job in flight")
+            self._job_id += 1
+            self._job_wire = job_wire
+            self._pending = deque(range(count))
+            self._outstanding = count
+            self._on_result = on_result
+            self._failure = None
+            self._wakeup.notify_all()
+            while self._outstanding > 0 and self._failure is None:
+                if not self._job_finished.wait(timeout=self.result_timeout):
+                    self._failure = (f"no worker progress for "
+                                     f"{self.result_timeout}s "
+                                     f"({self._outstanding} outstanding)")
+                if self._shutdown:
+                    self._failure = self._failure or "transport closed"
+            failure = self._failure
+            self._job_wire = None
+            self._on_result = None
+            self._pending = deque()
+        if failure is not None:
+            raise TransportError(failure)
+
+    # -- callbacks from connection handlers (thread-safe) -------------------
+
+    def _await_job(self, connection) -> Optional[tuple]:
+        """Block until work is available (or shutdown).
+
+        A connection is handed the current job whenever candidate indices
+        are pending.  ``job_done`` is only sent once the pending queue is
+        empty, so a worker never re-enters a job it just finished — except
+        after a peer disconnects mid-candidate and its item is re-queued,
+        in which case re-serving the job (trunk rebuild included) is the
+        recovery path.
+        """
+        with self._lock:
+            while not self._shutdown:
+                if self._job_wire is not None and self._pending:
+                    return self._job_id, self._job_wire
+                self._wakeup.wait(timeout=1.0)
+            return None
+
+    def _next_index(self, job_id: int) -> Optional[int]:
+        with self._lock:
+            if job_id != self._job_id or not self._pending:
+                return None
+            return self._pending.popleft()
+
+    def _requeue(self, job_id: int, index: int) -> None:
+        with self._lock:
+            if job_id == self._job_id and self._job_wire is not None:
+                self._pending.appendleft(index)
+                self._wakeup.notify_all()
+
+    def _deliver(self, job_id: int, index: int, outcome) -> None:
+        with self._lock:
+            if job_id != self._job_id or self._on_result is None:
+                return
+            callback = self._on_result
+        # Run the callback outside the lock: a slow (or transport-touching)
+        # progress callback must not serialize worker dispatch or deadlock.
+        callback(index, outcome)
+        with self._lock:
+            if job_id != self._job_id:
+                return
+            self._outstanding -= 1
+            # Notify on *every* delivery so run_job's stall timeout re-arms
+            # per result (matching SpawnTransport's per-result semantics)
+            # instead of bounding total job duration.
+            self._job_finished.notify_all()
+
+    def _item_failed(self, job_id: int, index: Optional[int],
+                     message: str) -> None:
+        with self._lock:
+            if job_id != self._job_id:
+                return
+            if self._failure is None:
+                what = "job setup" if index is None else f"candidate {index}"
+                self._failure = f"{what} failed on a worker:\n{message}"
+            self._job_finished.notify_all()
+
+    def _connection_lost(self, connection) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+            if (self._job_wire is not None and not self._connections
+                    and self._failure is None and self._outstanding > 0
+                    and all(p.poll() is not None
+                            for p in self._worker_processes)):
+                self._failure = ("all workers disconnected with "
+                                 f"{self._outstanding} items outstanding")
+                self._job_finished.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+TRANSPORTS = {
+    "inprocess": InProcessTransport,
+    "serial": InProcessTransport,
+    "spawn": SpawnTransport,
+    "socket": SocketTransport,
+    "tcp": SocketTransport,
+}
+
+
+def make_transport(name: str, **options) -> BaseTransport:
+    """Build a transport by name: inprocess | spawn | socket."""
+    try:
+        cls = TRANSPORTS[name.lower()]
+    except KeyError as exc:
+        raise DistribError(f"unknown transport {name!r}; expected one of "
+                           f"{sorted(set(TRANSPORTS))}") from exc
+    if cls is InProcessTransport:
+        options.pop("workers", None)     # meaningless in-process
+    return cls(**options)

@@ -1,0 +1,88 @@
+"""``repro-worker`` — drain a backtest coordinator's candidate queue.
+
+Run one (or many, across machines) against a listening
+:class:`~repro.distrib.transport.SocketTransport`::
+
+    python -m repro.distrib.worker --connect HOST:PORT
+
+The worker speaks the length-prefixed frame protocol: it receives a job,
+rebuilds the scenario and backtester from the job's :class:`ScenarioSpec`
+and configuration, then pulls candidate indices one at a time and streams
+:class:`ShardOutcome` results back until the coordinator says ``job_done``.
+It then waits for the next job; ``shutdown`` (or a closed connection) ends
+the process.  Only connect to coordinators you trust: frames are pickled.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import traceback
+from typing import Optional
+
+from .jobs import JobRuntime
+from .transport import recv_frame, send_frame
+
+
+def _serve_job(sock: socket.socket, job_wire) -> None:
+    try:
+        runtime = JobRuntime(job_wire)
+    except BaseException:                # noqa: BLE001 — report and bail out
+        send_frame(sock, {"type": "job_error",
+                          "message": traceback.format_exc()})
+        return
+    send_frame(sock, {"type": "next"})
+    while True:
+        message = recv_frame(sock)
+        if message is None:
+            raise ConnectionError("coordinator closed mid-job")
+        kind = message.get("type")
+        if kind == "job_done":
+            return
+        if kind != "item":
+            continue
+        index = message["index"]
+        try:
+            outcome = runtime.evaluate(index)
+        except BaseException:            # noqa: BLE001
+            send_frame(sock, {"type": "error", "index": index,
+                              "message": traceback.format_exc()})
+        else:
+            send_frame(sock, {"type": "result", "index": index,
+                              "outcome": outcome})
+
+
+def serve(host: str, port: int) -> None:
+    """Connect to a coordinator and process jobs until shutdown."""
+    with socket.create_connection((host, port)) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_frame(sock, {"type": "hello", "pid": os.getpid()})
+        while True:
+            message = recv_frame(sock)
+            if message is None or message.get("type") == "shutdown":
+                return
+            if message.get("type") == "job":
+                _serve_job(sock, message["job"])
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker", description=__doc__.splitlines()[0])
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator socket to pull candidates from")
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    try:
+        serve(host, int(port))
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

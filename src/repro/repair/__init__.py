@@ -18,7 +18,12 @@ from .candidates import (
     InsertTuple,
     PROGRAM_EDIT_KINDS,
     RepairCandidate,
+    WireFormatError,
+    candidate_from_wire,
+    candidate_to_wire,
     deduplicate,
+    edit_from_wire,
+    edit_to_wire,
 )
 from .generator import RepairGenerator, RepairGeneratorConfig
 
@@ -28,6 +33,7 @@ __all__ = [
     "ChangeRuleHead", "ChangeTuple", "CopyRule", "DATA_EDIT_KINDS",
     "DeletePredicate", "DeleteRule", "DeleteSelection", "DeleteTuple",
     "Edit", "InsertTuple", "PROGRAM_EDIT_KINDS", "RepairCandidate",
-    "deduplicate",
+    "WireFormatError", "candidate_from_wire", "candidate_to_wire",
+    "deduplicate", "edit_from_wire", "edit_to_wire",
     "RepairGenerator", "RepairGeneratorConfig",
 ]

@@ -8,34 +8,51 @@ from .q2_forwarding import build_q2
 from .q3_policy_update import build_q3
 from .q4_forgotten_packets import build_q4
 from .q5_mac_learning import build_q5
+from .spec import ScenarioSpec, SpecError
 
-#: Registry of scenario builders by name.
-SCENARIO_BUILDERS: Dict[str, Callable[[], NDlogScenario]] = {
-    "Q1": build_q1,
-    "Q2": build_q2,
-    "Q3": build_q3,
-    "Q4": build_q4,
-    "Q5": build_q5,
-}
+#: Registry of scenario builders by name.  Entries are what makes a scenario
+#: spawn-safe: a :class:`ScenarioSpec` naming a registered scenario can be
+#: rebuilt in any worker process (see :mod:`repro.scenarios.spec`).
+SCENARIO_BUILDERS: Dict[str, Callable[[], NDlogScenario]] = {}
+
+
+def register_scenario(name: str,
+                      builder: Callable[..., NDlogScenario]) -> None:
+    """Register a scenario builder under ``name`` (upper-cased).
+
+    Registered scenarios can be named by :class:`ScenarioSpec` and therefore
+    evaluated on ``spawn`` and remote workers of the distributed backtest
+    fabric.  Re-registering a name replaces the previous builder.
+    """
+    SCENARIO_BUILDERS[name.upper()] = builder
+
+
+for _name, _builder in (("Q1", build_q1), ("Q2", build_q2), ("Q3", build_q3),
+                        ("Q4", build_q4), ("Q5", build_q5)):
+    register_scenario(_name, _builder)
+del _name, _builder
 
 
 def build_scenario(name: str, **kwargs) -> NDlogScenario:
-    """Build a scenario by name ("Q1" ... "Q5")."""
+    """Build a scenario by name ("Q1" ... "Q5"), stamping its spec."""
     try:
         builder = SCENARIO_BUILDERS[name.upper()]
     except KeyError as exc:
         raise KeyError(f"unknown scenario {name!r}; expected one of "
                        f"{sorted(SCENARIO_BUILDERS)}") from exc
-    return builder(**kwargs)
+    scenario = builder(**kwargs)
+    scenario.spec = ScenarioSpec.create(name, params=kwargs)
+    return scenario
 
 
 def all_scenarios() -> List[NDlogScenario]:
     """Build all five scenarios (Q1-Q5) with their default parameters."""
-    return [builder() for _, builder in sorted(SCENARIO_BUILDERS.items())]
+    return [build_scenario(name) for name in sorted(SCENARIO_BUILDERS)]
 
 
 __all__ = [
-    "NDlogScenario", "Symptom", "SCENARIO_BUILDERS",
+    "NDlogScenario", "ScenarioSpec", "SpecError", "Symptom",
+    "SCENARIO_BUILDERS", "register_scenario",
     "build_q1", "build_q2", "build_q3", "build_q4", "build_q5",
     "build_scenario", "all_scenarios",
 ]

@@ -78,6 +78,12 @@ class NDlogScenario:
         self.require_packet_out = require_packet_out
         self.reference_repair = reference_repair
         self.ks_threshold = ks_threshold
+        #: Spawn-safe handle (set by ``build_scenario`` / ``ScenarioSpec``):
+        #: names this scenario in the builder registry so worker processes
+        #: can reconstruct it without pickling closures.  ``None`` for
+        #: hand-assembled scenarios, which then only support in-process and
+        #: fork evaluation.
+        self.spec = None
         self._trace: Optional[List[Tuple[int, Packet]]] = None
 
     # ------------------------------------------------------------------

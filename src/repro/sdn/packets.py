@@ -35,7 +35,12 @@ class Packet:
     src_mac: Optional[int] = None
     dst_mac: Optional[int] = None
     size: int = 120
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Process-local serial number used only for human-readable logs; it is
+    #: excluded from equality/hashing so that a trace rebuilt from a
+    #: ScenarioSpec in a fresh worker process compares bit-identical to the
+    #: coordinator's copy.
+    packet_id: int = field(default_factory=lambda: next(_packet_ids),
+                           compare=False)
 
     def header(self) -> Dict[str, object]:
         """Header fields as a dict keyed by canonical field names."""

@@ -18,8 +18,6 @@ if _BENCHMARKS_DIR not in sys.path:
 
 from bench_baseline import REPLAY_BATCH_SIZE, run_baseline  # noqa: E402
 
-from repro.backtest.replay import fork_available  # noqa: E402
-
 
 def test_baseline_harness_smoke(tmp_path):
     output = tmp_path / "BENCH_baseline.json"
@@ -27,7 +25,7 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     assert payload["smoke"] is True
 
     engine = payload["engine"]
@@ -35,15 +33,27 @@ def test_baseline_harness_smoke(tmp_path):
         assert engine[workload]["indexed_seconds"] > 0
         assert engine[workload]["naive_seconds"] > 0
 
+    # The parallel rows exist regardless of fork: without it, evaluate_all
+    # degrades to the fabric's spawn transport instead of running serial.
     fig9b = payload["fig9b"]
-    expected_modes = {"sequential", "sequential_batched", "multiquery"}
-    if fork_available():
-        expected_modes |= {"parallel", "multiquery_parallel"}
-        assert fig9b["parallel"]["workers"] == 2
-        assert fig9b["multiquery_parallel"]["workers"] == 2
+    expected_modes = {"sequential", "sequential_batched", "multiquery",
+                      "parallel", "multiquery_parallel"}
     assert expected_modes <= set(fig9b)
+    assert fig9b["parallel"]["workers"] == 2
+    assert fig9b["multiquery_parallel"]["workers"] == 2
     accepted = {fig9b[mode]["accepted"] for mode in expected_modes}
     assert len(accepted) == 1          # every mode agreed on the verdicts
     assert fig9b["sequential_batched"]["replay_batch_size"] > 1
     assert 0.0 <= fig9b["multiquery"]["sharing_ratio"] <= 1.0
     assert REPLAY_BATCH_SIZE > 1
+
+    # The coordinator scaling row: a real 2-worker spawn run, verdict-checked
+    # against the sequential accepted set by the harness itself.
+    distrib = payload["distrib"]
+    assert distrib["spawn_coordinator"]["workers"] == 2
+    assert distrib["spawn_coordinator"]["accepted"] == \
+        fig9b["sequential"]["accepted"]
+
+    reference = payload["smoke_reference"]
+    assert reference["fig9b_sequential"]["seconds"] > 0
+    assert set(reference["engine"]) == {"join_insert", "delete"}

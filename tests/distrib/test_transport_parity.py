@@ -1,0 +1,275 @@
+"""Parity suite for the distributed backtest fabric.
+
+Acceptance contract: serial, fork (covered by the PR 2 suite), ``spawn``
+and socket transports produce **bit-identical** ``BacktestReport``s —
+statistics (delivery records included), KS results, verdicts and
+multi-query sharing counters — for Q1-Q5, under both backtester classes.
+The spawn and socket schedulers here run with 2 persistent workers, so
+every tier-1 run includes a real coordinator round through each transport.
+
+Also covered: progress streaming, the early-abort policy (on the fabric
+and off — off must stay bit-identical), degraded ``workers=N`` dispatch on
+fork-less platforms, and coordinator error paths.
+"""
+
+import pytest
+
+import repro.backtest.replay as replay_module
+from repro.backtest import Backtester, EarlyAbortPolicy, MultiQueryBacktester
+from repro.distrib import DistribError, Scheduler
+from repro.repair import (AddRule, ChangeAssignment, ChangeConstant,
+                          DeleteRule, DeleteSelection, RepairCandidate)
+from repro.ndlog.ast import Var
+from repro.ndlog.parser import parse_program
+from repro.scenarios import build_scenario
+
+SCENARIOS = ["Q1", "Q2", "Q3", "Q4", "Q5"]
+BACKTESTERS = [Backtester, MultiQueryBacktester]
+
+
+def scenario_candidates(name):
+    """One plausible fix plus one overly general repair per scenario, so
+    both shared trunks and per-candidate forks carry real traffic."""
+    if name == "Q1":
+        return [
+            RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),),
+                            cost=1.1, description="r7: Swi==2 -> Swi==3"),
+            RepairCandidate(edits=(DeleteSelection("r7", 0, "Swi == 2"),),
+                            cost=2.0, description="r7: delete Swi==2"),
+        ]
+    if name == "Q2":
+        return [
+            RepairCandidate(edits=(ChangeConstant("q2c", 2, "right", 6, 7),),
+                            cost=1.1, description="q2c: Sip<6 -> Sip<7"),
+            RepairCandidate(edits=(DeleteSelection("q2c", 2, "Sip < 6"),),
+                            cost=2.0, description="q2c: delete Sip<6"),
+        ]
+    if name == "Q3":
+        return [
+            RepairCandidate(edits=(ChangeConstant("q3fw", 2, "right", 3, 2),),
+                            cost=1.1, description="q3fw: Sip>3 -> Sip>2"),
+            RepairCandidate(edits=(DeleteSelection("q3fw", 2, "Sip > 3"),),
+                            cost=2.0, description="q3fw: delete Sip>3"),
+        ]
+    if name == "Q4":
+        po_http = parse_program(
+            "q4poH PacketOut(@Swi,Prt) :- PacketIn(@C,Swi,Sip,Hdr), "
+            "Swi == 8, Hdr == 80, Prt := 1.").rules[0]
+        return [
+            RepairCandidate(edits=(AddRule(po_http),), cost=1.4,
+                            description="add HTTP packet-out rule"),
+            RepairCandidate(edits=(AddRule(po_http), DeleteRule("q4http")),
+                            cost=2.4,
+                            description="packet-out only (no flow entries)"),
+        ]
+    if name == "Q5":
+        return [
+            RepairCandidate(edits=(ChangeAssignment("f1", 0, "Hip", "*",
+                                                    Var("Sip")),),
+                            cost=1.1, description="f1: Hip := * -> Sip"),
+            RepairCandidate(edits=(DeleteRule("f2"),), cost=2.0,
+                            description="delete f2"),
+        ]
+    raise ValueError(name)
+
+
+def stats_snapshot(stats):
+    return (stats.delivered_per_host, stats.dropped, stats.total,
+            stats.packet_in_count, stats.flow_mod_count,
+            stats.packet_out_count,
+            [(r.packet, r.delivered_to, r.dropped_at, r.path)
+             for r in stats.delivery_records])
+
+
+def report_snapshot(report):
+    rows = []
+    for result in report.results:
+        rows.append((result.candidate.description, result.candidate.tag,
+                     result.effective, result.accepted, result.ks,
+                     result.notes, stats_snapshot(result.stats)))
+    extra = ()
+    if hasattr(report, "shared_evaluations"):
+        extra = (report.shared_evaluations, report.candidate_evaluations)
+    return (stats_snapshot(report.baseline), tuple(rows), extra,
+            report.packet_count)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {name: build_scenario(name) for name in SCENARIOS}
+
+
+@pytest.fixture(scope="module")
+def candidate_sets():
+    """One candidate list per scenario, shared by the reference runs and
+    every transport run (candidate ids/tags cross the wire and must
+    round-trip)."""
+    return {name: scenario_candidates(name) for name in SCENARIOS}
+
+
+@pytest.fixture(scope="module")
+def serial_snapshots(scenarios, candidate_sets):
+    """Reference reports, computed once per (scenario, backtester class)."""
+    out = {}
+    for name in SCENARIOS:
+        for cls in BACKTESTERS:
+            report = cls(scenarios[name],
+                         ks_threshold=scenarios[name].ks_threshold
+                         ).evaluate_all(candidate_sets[name])
+            out[(name, cls.__name__)] = report_snapshot(report)
+    return out
+
+
+@pytest.fixture(scope="module")
+def spawn_scheduler():
+    with Scheduler(transport="spawn", workers=2) as scheduler:
+        yield scheduler
+
+
+@pytest.fixture(scope="module")
+def socket_scheduler():
+    with Scheduler(transport="socket", workers=2) as scheduler:
+        yield scheduler
+
+
+@pytest.mark.parametrize("cls", BACKTESTERS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_inprocess_transport_matches_serial(scenarios, serial_snapshots,
+                                            candidate_sets, name, cls):
+    with Scheduler(transport="inprocess") as scheduler:
+        report = cls(scenarios[name],
+                     ks_threshold=scenarios[name].ks_threshold).evaluate_all(
+                         candidate_sets[name], scheduler=scheduler)
+    assert report_snapshot(report) == serial_snapshots[(name, cls.__name__)]
+
+
+@pytest.mark.parametrize("cls", BACKTESTERS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_spawn_transport_matches_serial(scenarios, serial_snapshots,
+                                        candidate_sets, spawn_scheduler,
+                                        name, cls):
+    report = cls(scenarios[name],
+                 ks_threshold=scenarios[name].ks_threshold).evaluate_all(
+                     candidate_sets[name], scheduler=spawn_scheduler)
+    assert report_snapshot(report) == serial_snapshots[(name, cls.__name__)]
+
+
+@pytest.mark.parametrize("cls", BACKTESTERS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_socket_transport_matches_serial(scenarios, serial_snapshots,
+                                         candidate_sets, socket_scheduler,
+                                         name, cls):
+    report = cls(scenarios[name],
+                 ks_threshold=scenarios[name].ks_threshold).evaluate_all(
+                     candidate_sets[name], scheduler=socket_scheduler)
+    assert report_snapshot(report) == serial_snapshots[(name, cls.__name__)]
+
+
+def test_progress_streams_in_completion_order(scenarios, candidate_sets):
+    updates = []
+    scenario = scenarios["Q1"]
+    candidates = candidate_sets["Q1"]
+    with Scheduler(transport="inprocess",
+                   progress=lambda done, total, result:
+                   updates.append((done, total, result.candidate.tag))) \
+            as scheduler:
+        Backtester(scenario, ks_threshold=scenario.ks_threshold
+                   ).evaluate_all(candidates, scheduler=scheduler)
+    assert [(done, total) for done, total, _tag in updates] == [(1, 2), (2, 2)]
+    assert {tag for _d, _t, tag in updates} == \
+        {candidate.tag for candidate in candidates}
+
+
+def test_degrades_to_spawn_when_fork_is_missing(scenarios, serial_snapshots,
+                                                candidate_sets, monkeypatch):
+    """workers=N without fork must route through the spawn transport (not
+    silently run serial) whenever the scenario carries a spec."""
+    import repro.distrib as distrib
+    used = []
+
+    class SpyScheduler(Scheduler):
+        def run(self, backtester, candidates):
+            used.append(self.transport.name)
+            return super().run(backtester, candidates)
+
+    monkeypatch.setattr(replay_module, "fork_available", lambda: False)
+    monkeypatch.setattr(distrib, "Scheduler", SpyScheduler)
+    scenario = scenarios["Q2"]
+    report = Backtester(scenario, ks_threshold=scenario.ks_threshold
+                        ).evaluate_all(candidate_sets["Q2"], workers=2)
+    assert used == ["spawn"]
+    assert report_snapshot(report) == serial_snapshots[("Q2", "Backtester")]
+
+
+def test_early_abort_rejects_overloading_candidate(scenarios):
+    """The abort policy kills a controller-flooding replay mid-trace; the
+    sound (monotone) overload bound means the verdict matches the full
+    replay's rejection."""
+    scenario = scenarios["Q1"]
+    flooder = RepairCandidate(edits=(DeleteRule("r1"),), cost=3.0,
+                              description="delete r1 (floods controller)")
+    fix = scenario_candidates("Q1")[0]   # fresh copy: notes compared below
+    policy = EarlyAbortPolicy(check_every=8, min_fraction=0.1)
+    full_packets = len(scenario.trace())
+    for cls in BACKTESTERS:
+        with Scheduler(transport="inprocess", early_abort=policy) as scheduler:
+            report = cls(scenario, ks_threshold=scenario.ks_threshold,
+                         max_packet_in_growth=1.5).evaluate_all(
+                             [flooder, fix], scheduler=scheduler)
+        aborted, accepted = report.results
+        assert not aborted.accepted and not aborted.effective
+        assert any(note.startswith("aborted after") for note in aborted.notes)
+        assert aborted.stats.total < full_packets
+        assert accepted.accepted
+        assert accepted.notes == fix.notes
+
+
+def test_abort_policy_off_is_bit_identical(scenarios, serial_snapshots,
+                                           candidate_sets):
+    """No policy, no deviation: the fabric with abort disabled reproduces
+    the serial report exactly (this is what the parity tests above rely
+    on)."""
+    scenario = scenarios["Q3"]
+    with Scheduler(transport="inprocess", early_abort=None) as scheduler:
+        report = MultiQueryBacktester(
+            scenario, ks_threshold=scenario.ks_threshold).evaluate_all(
+                candidate_sets["Q3"], scheduler=scheduler)
+    assert report_snapshot(report) == \
+        serial_snapshots[("Q3", "MultiQueryBacktester")]
+
+
+def test_missing_spec_raises(scenarios):
+    scenario = build_scenario("Q1", repetitions=1)
+    scenario.spec = None
+    with Scheduler(transport="inprocess") as scheduler:
+        with pytest.raises(DistribError, match="ScenarioSpec"):
+            Backtester(scenario).evaluate_all(scenario_candidates("Q1"),
+                                              scheduler=scheduler)
+
+
+def test_socket_transport_restarts_after_close(serial_snapshots,
+                                               candidate_sets):
+    """close() must leave the transport restartable: the next run_job
+    rebuilds the listener and spawns fresh workers (parity with
+    SpawnTransport), instead of hanging with orphaned workers."""
+    from repro.distrib import SocketTransport
+    scenario = build_scenario("Q1", repetitions=1)
+    candidates = candidate_sets["Q1"]
+    transport = SocketTransport(workers=1, result_timeout=120.0)
+    snapshots = []
+    for _round in range(2):
+        with Scheduler(transport=transport) as scheduler:
+            report = Backtester(scenario, ks_threshold=scenario.ks_threshold
+                                ).evaluate_all(candidates,
+                                               scheduler=scheduler)
+        snapshots.append(report_snapshot(report))
+        transport.close()
+    assert snapshots[0] == snapshots[1]
+
+
+def test_empty_candidate_list(scenarios):
+    scenario = scenarios["Q1"]
+    with Scheduler(transport="inprocess") as scheduler:
+        report = Backtester(scenario, ks_threshold=scenario.ks_threshold
+                            ).evaluate_all([], scheduler=scheduler)
+    assert report.results == []

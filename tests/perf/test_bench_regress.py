@@ -1,0 +1,100 @@
+"""Perf regression tripwire (the ``bench_regress`` marker).
+
+Every full run of ``benchmarks/bench_baseline.py`` records a
+``smoke_reference`` section: smoke-size engine workloads and a smoke-size
+sequential Q1 backtest, timed on the machine that produced the committed
+``BENCH_baseline.json``.  This test re-measures exactly those workloads and
+fails loudly if they got *much* slower — a generous multiplicative
+tolerance plus an absolute floor absorbs machine differences and CI noise,
+so only a real regression (an accidentally quadratic hot path, a dropped
+index) trips it.
+
+Deselect with ``-m "not bench_regress"`` on noisy machines.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_BENCHMARKS_DIR = str(_REPO_ROOT / "benchmarks")
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
+
+from bench_engine_micro import (  # noqa: E402
+    SMOKE_DELETE_SIZE,
+    SMOKE_JOIN_SIZE,
+    run_delete_workload,
+    run_insert_workload,
+)
+
+from repro.backtest import Backtester  # noqa: E402
+from repro.ndlog import Engine  # noqa: E402
+from repro.scenarios import build_scenario  # noqa: E402
+
+BASELINE_PATH = _REPO_ROOT / "BENCH_baseline.json"
+
+#: Fresh timings may be this many times slower than the recorded reference
+#: (plus the absolute floor) before the test fails.  Generous on purpose:
+#: this is a tripwire for order-of-magnitude rot, not a profiler.
+TOLERANCE_FACTOR = 8.0
+ABSOLUTE_FLOOR_SECONDS = 0.35
+
+
+@pytest.fixture(scope="module")
+def smoke_reference():
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_baseline.json to compare against")
+    payload = json.loads(BASELINE_PATH.read_text())
+    if payload.get("schema_version", 0) < 2 \
+            or "smoke_reference" not in payload:
+        pytest.skip("BENCH_baseline.json predates the smoke_reference "
+                    "section; refresh it with benchmarks/bench_baseline.py")
+    return payload["smoke_reference"]
+
+
+def _allowed(reference_seconds: float) -> float:
+    return reference_seconds * TOLERANCE_FACTOR + ABSOLUTE_FLOOR_SECONDS
+
+
+@pytest.mark.bench_regress
+@pytest.mark.parametrize("workload,runner,size", [
+    ("join_insert", run_insert_workload, SMOKE_JOIN_SIZE),
+    ("delete", run_delete_workload, SMOKE_DELETE_SIZE),
+])
+def test_engine_smoke_within_tolerance(smoke_reference, workload, runner,
+                                       size):
+    recorded = smoke_reference["engine"][workload]
+    assert recorded["size"] == size, \
+        "smoke workload size drifted; refresh BENCH_baseline.json"
+    fresh_seconds, _result = runner(Engine, size)
+    allowed = _allowed(recorded["indexed_seconds"])
+    assert fresh_seconds <= allowed, (
+        f"engine.{workload} smoke took {fresh_seconds:.3f}s, allowed "
+        f"{allowed:.3f}s (recorded {recorded['indexed_seconds']:.3f}s) — "
+        f"perf regression? refresh BENCH_baseline.json if intentional")
+
+
+@pytest.mark.bench_regress
+def test_backtest_smoke_within_tolerance(smoke_reference):
+    from bench_baseline import _smoke_candidates
+    recorded = smoke_reference["fig9b_sequential"]
+    scenario = build_scenario("Q1", repetitions=1)
+    candidates = _smoke_candidates()
+    assert len(candidates) == recorded["candidates"], \
+        "smoke candidate set drifted; refresh BENCH_baseline.json"
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold)
+    started = time.perf_counter()
+    report = backtester.evaluate_all(candidates)
+    fresh_seconds = time.perf_counter() - started
+    assert report.packet_count == recorded["packet_count"], \
+        "smoke trace drifted; refresh BENCH_baseline.json"
+    assert len(report.accepted()) == recorded["accepted"]
+    allowed = _allowed(recorded["seconds"])
+    assert fresh_seconds <= allowed, (
+        f"sequential smoke backtest took {fresh_seconds:.3f}s, allowed "
+        f"{allowed:.3f}s (recorded {recorded['seconds']:.3f}s) — "
+        f"perf regression? refresh BENCH_baseline.json if intentional")

@@ -1,0 +1,127 @@
+"""The exact-match-signature index behind ``FlowTable.lookup``.
+
+Lookups must stay semantically identical to the original linear scan:
+highest priority wins, ties go to the entry installed first, ``*`` values
+and absent fields are wildcards, and tag filtering (multi-query
+backtesting) applies before matching.  A randomized cross-check pits the
+indexed lookup against a reference linear scan.
+"""
+
+import random
+
+from repro.sdn.packets import Packet
+from repro.sdn.switch import FlowEntry, FlowTable
+
+
+def linear_lookup(table, packet, in_port=None, tag=None):
+    """The pre-index reference semantics, verbatim."""
+    best = None
+    for entry in table.entries():
+        if tag is not None and entry.tags and tag not in entry.tags:
+            continue
+        if tag is None and entry.tags:
+            continue
+        if not entry.matches(packet, in_port):
+            continue
+        if best is None or entry.priority > best.priority:
+            best = entry
+    return best
+
+
+def test_exact_match_hit_and_miss():
+    table = FlowTable()
+    entry = table.install(FlowEntry.create({"src_ip": 7, "dst_port": 80},
+                                           out_port=2))
+    assert table.lookup(Packet(src_ip=7, dst_ip=99, dst_port=80)) is entry
+    assert table.lookup(Packet(src_ip=8, dst_ip=99, dst_port=80)) is None
+    assert table.lookup(Packet(src_ip=7, dst_ip=99, dst_port=53)) is None
+
+
+def test_priority_wins_and_ties_go_to_first_installed():
+    table = FlowTable()
+    low = table.install(FlowEntry.create({"src_ip": 1}, out_port=1,
+                                         priority=1))
+    first = table.install(FlowEntry.create({"src_ip": 1}, out_port=2,
+                                           priority=5))
+    table.install(FlowEntry.create({"src_ip": 1}, out_port=3, priority=5))
+    packet = Packet(src_ip=1, dst_ip=2)
+    assert table.lookup(packet) is first
+    table.remove_where(lambda e: e is first)
+    assert table.lookup(packet).out_port == 3
+    table.remove_where(lambda e: e.priority == 5)
+    assert table.lookup(packet) is low
+
+
+def test_wildcard_value_entries_still_match():
+    table = FlowTable()
+    wild = table.install(FlowEntry.create({"src_ip": "*", "dst_port": 80},
+                                          out_port=9, priority=2))
+    exact = table.install(FlowEntry.create({"src_ip": 3, "dst_port": 80},
+                                           out_port=1, priority=4))
+    assert table.lookup(Packet(src_ip=5, dst_ip=9, dst_port=80)) is wild
+    assert table.lookup(Packet(src_ip=3, dst_ip=9, dst_port=80)) is exact
+
+
+def test_tag_filtering():
+    table = FlowTable()
+    untagged = table.install(FlowEntry.create({"dst_port": 80}, out_port=1))
+    tagged = table.install(FlowEntry.create({"dst_port": 80}, out_port=2,
+                                            priority=9, tags=("v1",)))
+    packet = Packet(src_ip=1, dst_ip=2, dst_port=80)
+    assert table.lookup(packet) is untagged          # tag=None skips tagged
+    assert table.lookup(packet, tag="v1") is tagged
+    assert table.lookup(packet, tag="v2") is untagged
+
+
+def test_in_port_is_indexable():
+    table = FlowTable()
+    entry = table.install(FlowEntry.create({"in_port": 4, "dst_port": 80},
+                                           out_port=1))
+    packet = Packet(src_ip=1, dst_ip=2, dst_port=80)
+    assert table.lookup(packet, in_port=4) is entry
+    assert table.lookup(packet, in_port=5) is None
+    assert table.lookup(packet) is None
+
+
+def test_clear_invalidates_index():
+    table = FlowTable()
+    table.install(FlowEntry.create({"src_ip": 1}, out_port=1))
+    packet = Packet(src_ip=1, dst_ip=2)
+    assert table.lookup(packet) is not None
+    table.clear()
+    assert table.lookup(packet) is None
+    assert len(table) == 0
+
+
+def test_randomized_cross_check_against_linear_scan():
+    rng = random.Random(1702)
+    fields = ["src_ip", "dst_ip", "src_port", "dst_port", "proto", "in_port"]
+    table = FlowTable()
+    operations = 0
+    for step in range(400):
+        action = rng.random()
+        if action < 0.45 or len(table) == 0:
+            match = {}
+            for field in rng.sample(fields, rng.randint(0, 3)):
+                if field == "proto":
+                    match[field] = rng.choice(["tcp", "udp", "*"])
+                else:
+                    match[field] = rng.choice([rng.randint(1, 5), "*"])
+            tags = rng.choice([(), (), ("v1",), ("v2",), ("v1", "v2")])
+            table.install(FlowEntry.create(match, out_port=rng.randint(1, 4),
+                                           priority=rng.randint(1, 3),
+                                           tags=tags))
+        elif action < 0.55:
+            port = rng.randint(1, 4)
+            table.remove_where(lambda e: e.out_port == port)
+        # Interleave lookups with mutations so staleness would be caught.
+        packet = Packet(src_ip=rng.randint(1, 5), dst_ip=rng.randint(1, 5),
+                        src_port=rng.randint(1, 5),
+                        dst_port=rng.randint(1, 5),
+                        proto=rng.choice(["tcp", "udp"]))
+        in_port = rng.choice([None, rng.randint(1, 5)])
+        tag = rng.choice([None, "v1", "v2", "v3"])
+        assert table.lookup(packet, in_port, tag) \
+            is linear_lookup(table, packet, in_port, tag)
+        operations += 1
+    assert operations == 400
