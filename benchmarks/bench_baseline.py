@@ -12,9 +12,15 @@ Measured workloads:
 * ``engine.join_insert`` / ``engine.delete`` — the indexed engine vs the
   scan-based oracle (same workloads as ``bench_engine_micro.py``);
 * ``fig9b.*`` — backtesting the Q1 candidate set under every pipeline mode:
-  ``sequential`` (per-candidate, per-packet), ``sequential_batched``
-  (batched PacketIn fixpoints), ``multiquery`` (shared trunk),
-  ``parallel`` and ``multiquery_parallel`` (process-sharded candidates);
+  ``sequential`` (per-candidate replay, warm engine switching),
+  ``sequential_cold`` (per-candidate cold rebuild — the warm/cold
+  end-to-end comparison), ``sequential_batched`` (batched PacketIn
+  fixpoints), ``multiquery`` (shared trunk), ``parallel`` and
+  ``multiquery_parallel`` (process-sharded candidates);
+* ``warm_vs_cold`` — per-candidate *setup* amortization (schema v3): how
+  long producing a replay-ready engine+controller+simulator takes per
+  candidate via cold rebuild vs warm checkpoint-restore + rule delta, at
+  the Fig 9b candidate count and at ~100 candidates;
 * ``distrib.*`` — the same candidate set through the distributed backtest
   fabric (``repro.distrib``): a ``workers=N`` scaling row per transport
   (spawn coordinator always; socket coordinator in full runs);
@@ -56,13 +62,15 @@ from bench_engine_micro import (  # noqa: E402
 )
 
 from repro.backtest import Backtester, MultiQueryBacktester  # noqa: E402
-from repro.backtest.replay import fork_available  # noqa: E402
+from repro.backtest.replay import WarmEvaluationState, fork_available  # noqa: E402
 from repro.distrib import Scheduler  # noqa: E402
 from repro.ndlog import Engine, NaiveEngine  # noqa: E402
 from repro.repair import ChangeConstant, DeleteSelection, RepairCandidate  # noqa: E402
+from repro.repair.apply import apply_candidate  # noqa: E402
 from repro.scenarios import build_scenario  # noqa: E402
+from repro.sdn.network import NetworkSimulator  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -127,6 +135,10 @@ def bench_fig9b(scenario, candidates, workers: int,
     def sequential():
         return Backtester(scenario, ks_threshold=threshold)
 
+    def sequential_cold():
+        return Backtester(scenario, ks_threshold=threshold,
+                          warm_engine=False)
+
     def sequential_batched():
         return Backtester(scenario, ks_threshold=threshold,
                           replay_batch_size=batch_size)
@@ -136,6 +148,9 @@ def bench_fig9b(scenario, candidates, workers: int,
 
     modes = {
         "sequential": (sequential, None),
+        # Per-candidate engine/controller/simulator rebuild — what every
+        # mode paid before warm switching became the default.
+        "sequential_cold": (sequential_cold, None),
         "sequential_batched": (sequential_batched, None),
         "multiquery": (multiquery, None),
         # With fork these shard over the fork pool; without it evaluate_all
@@ -168,6 +183,81 @@ def bench_fig9b(scenario, candidates, workers: int,
     return out, reference
 
 
+def _synthetic_candidates(count: int) -> List[RepairCandidate]:
+    """``count`` distinct single-constant Q1 edits (all delta-eligible)."""
+    return [
+        RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2,
+                                              3 + index),),
+                        cost=1.0,
+                        description=f"r7: Swi==2 -> Swi=={3 + index}")
+        for index in range(count)
+    ]
+
+
+def bench_warm_vs_cold(scenario, candidate_sets: Dict[str, List],
+                       rounds: int = 5) -> Dict:
+    """Per-candidate *setup* cost: cold rebuild vs warm restore+delta.
+
+    Replay cost is identical either way (the replays are bit-identical);
+    what warm switching removes is the recurring per-candidate setup —
+    fresh engine (static fixpoint included), controller, topology and
+    simulator.  Each row times producing a replay-ready simulator for
+    every candidate in the set, ``rounds`` times, under both disciplines.
+    Candidates whose delta is ineligible fall back to a cold build inside
+    the warm loop, exactly as ``evaluate_all`` would.
+    """
+    out: Dict[str, Dict] = {}
+    for label, candidates in candidate_sets.items():
+        repaired = [apply_candidate(scenario.program, candidate)
+                    for candidate in candidates]
+
+        def cold_setup(item):
+            topology = scenario.build_topology()
+            controller = scenario.build_controller(
+                program=item.program,
+                extra_tuples=item.inserted_tuples,
+                removed_tuples=item.removed_tuples)
+            NetworkSimulator(topology, controller,
+                             require_packet_out=scenario.require_packet_out,
+                             record_ingress=False)
+
+        def cold_pass():
+            for item in repaired:
+                cold_setup(item)
+
+        warm = WarmEvaluationState(scenario)
+        fallbacks = 0
+
+        def warm_pass():
+            nonlocal fallbacks
+            for item in repaired:
+                if warm.prepare_simulator(item) is None:
+                    fallbacks += 1
+                    cold_setup(item)
+
+        cold_pass()                       # prime caches outside the timers
+        warm_pass()
+        fallbacks = 0
+        started = time.perf_counter()
+        for _ in range(rounds):
+            cold_pass()
+        cold_seconds = (time.perf_counter() - started) / rounds
+        started = time.perf_counter()
+        for _ in range(rounds):
+            warm_pass()
+        warm_seconds = (time.perf_counter() - started) / rounds
+        out[label] = {
+            "candidates": len(candidates),
+            "rounds": rounds,
+            "cold_setup_seconds": cold_seconds,
+            "warm_setup_seconds": warm_seconds,
+            "per_candidate_speedup": (cold_seconds / warm_seconds
+                                      if warm_seconds else None),
+            "warm_fallbacks": fallbacks // rounds,
+        }
+    return out
+
+
 def bench_distrib(scenario, candidates, workers: int,
                   reference_accepted: List[bool],
                   include_socket: bool = False) -> Dict:
@@ -193,15 +283,30 @@ def bench_distrib(scenario, candidates, workers: int,
     return out
 
 
+#: Rounds used for the smoke-size warm-vs-cold row (sub-ms per pass, so
+#: extra rounds buy the tripwire stability for free).
+SMOKE_WARM_ROUNDS = 10
+
+
+def _smoke_warm_vs_cold() -> Dict:
+    """The smoke-size warm-vs-cold setup row the perf tripwire re-measures."""
+    scenario = build_scenario("Q1", repetitions=1)
+    rows = bench_warm_vs_cold(scenario,
+                              {"fig9b_workload": _smoke_candidates()},
+                              rounds=SMOKE_WARM_ROUNDS)
+    return rows["fig9b_workload"]
+
+
 def _smoke_reference(workers: int, engine: Optional[Dict] = None,
-                     fig9b: Optional[Dict] = None) -> Dict:
+                     fig9b: Optional[Dict] = None,
+                     warm_row: Optional[Dict] = None) -> Dict:
     """Smoke-size timings recorded with every baseline.
 
     ``tests/perf/test_bench_regress.py`` re-measures exactly these
     workloads on each tier-1 run and compares against the committed
     values, so the reference must stay cheap (seconds).  Smoke runs pass
-    their already-measured ``engine``/``fig9b`` sections instead of
-    re-timing the identical workloads.
+    their already-measured ``engine``/``fig9b``/``warm_row`` sections
+    instead of re-timing the identical workloads.
     """
     if engine is not None and fig9b is not None:
         sequential = fig9b["sequential"]
@@ -214,6 +319,8 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
                 "packet_count": fig9b["packet_count"]
                 // sequential["candidates"],
             },
+            "warm_vs_cold": (warm_row if warm_row is not None
+                             else _smoke_warm_vs_cold()),
             "workers": workers,
         }
     scenario = build_scenario("Q1", repetitions=1)
@@ -231,6 +338,7 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
             "accepted": len(report.accepted()),
             "packet_count": report.packet_count,
         },
+        "warm_vs_cold": _smoke_warm_vs_cold(),
         "workers": workers,
     }
 
@@ -252,6 +360,15 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         batch_size = REPLAY_BATCH_SIZE
     fig9b, reference_accepted = bench_fig9b(scenario, candidates, workers,
                                             batch_size=batch_size)
+    warm_sets = {"fig9b_workload": candidates}
+    if smoke:
+        warm_sets["candidates_24"] = _synthetic_candidates(24)
+    else:
+        warm_sets["candidates_100"] = _synthetic_candidates(100)
+    # In smoke mode this measures exactly the tripwire workload, so the
+    # smoke_reference reuses the row instead of re-timing it.
+    warm_vs_cold = bench_warm_vs_cold(
+        scenario, warm_sets, rounds=SMOKE_WARM_ROUNDS if smoke else 5)
     distrib = bench_distrib(scenario, candidates, workers,
                             reference_accepted, include_socket=not smoke)
     payload = {
@@ -265,9 +382,12 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         "workers": workers,
         "engine": engine,
         "fig9b": fig9b,
+        "warm_vs_cold": warm_vs_cold,
         "distrib": distrib,
-        "smoke_reference": (_smoke_reference(workers, engine, fig9b)
-                            if smoke else _smoke_reference(workers)),
+        "smoke_reference": (
+            _smoke_reference(workers, engine, fig9b,
+                             warm_row=warm_vs_cold["fig9b_workload"])
+            if smoke else _smoke_reference(workers)),
     }
     if output is not None:
         output = pathlib.Path(output)
@@ -300,6 +420,11 @@ def main(argv=None) -> int:
                       if "workers" in entry else "")
             print(f"{section + '.' + label:>24} "
                   f"{entry['seconds']:>10.3f}{suffix}")
+    for label, entry in payload["warm_vs_cold"].items():
+        print(f"{'warm_vs_cold.' + label:>24} "
+              f"{entry['warm_setup_seconds']:>10.4f} "
+              f"(cold {entry['cold_setup_seconds']:.4f}, "
+              f"{entry['per_candidate_speedup']:.1f}x per-candidate setup)")
     return 0
 
 

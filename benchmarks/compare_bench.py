@@ -1,0 +1,145 @@
+"""Diff a fresh bench run against the committed ``BENCH_baseline.json``.
+
+Runs the baseline harness (or loads an already-written snapshot) and
+prints, per timed row, the committed seconds, the fresh seconds and the
+speedup — flagging regressions beyond a threshold::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py                 # fresh full run
+    PYTHONPATH=src python benchmarks/compare_bench.py --smoke         # fresh smoke run
+    PYTHONPATH=src python benchmarks/compare_bench.py --fresh out.json
+    PYTHONPATH=src python benchmarks/compare_bench.py --fail-on-regress
+
+Rows are matched by dotted path (``fig9b.sequential.seconds``,
+``warm_vs_cold.fig9b_workload.warm_setup_seconds``, ...).  ``speedup`` is
+``baseline / fresh`` — above 1 means the fresh run is faster.  Timings are
+only comparable between runs of the same sizing on the same machine; the
+tool warns when the smoke flags differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+for path in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+#: JSON keys holding a timing in seconds (the rows worth diffing).
+_TIMING_KEYS = ("seconds", "indexed_seconds", "naive_seconds",
+                "cold_setup_seconds", "warm_setup_seconds")
+
+#: Metadata sections with no timings to compare.
+_SKIP_SECTIONS = {"smoke_reference"}
+
+
+def timing_rows(payload: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield (dotted path, seconds) for every timing leaf in the payload."""
+    for key in sorted(payload):
+        if not prefix and key in _SKIP_SECTIONS:
+            continue
+        value = payload[key]
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from timing_rows(value, path)
+        elif key in _TIMING_KEYS and isinstance(value, (int, float)):
+            yield path, float(value)
+
+
+def compare(baseline: Dict, fresh: Dict,
+            regress_factor: float = 1.5,
+            floor_seconds: float = 0.05) -> Tuple[List[Tuple], List[str]]:
+    """Match timing rows by path; return (rows, regression messages).
+
+    A row regresses when the fresh timing exceeds the baseline by more
+    than ``regress_factor`` *and* by more than ``floor_seconds`` absolute —
+    the floor keeps sub-millisecond rows from tripping on scheduler noise.
+    """
+    fresh_rows = dict(timing_rows(fresh))
+    rows = []
+    regressions = []
+    for path, recorded in timing_rows(baseline):
+        current = fresh_rows.get(path)
+        if current is None:
+            continue
+        speedup = recorded / current if current else float("inf")
+        rows.append((path, recorded, current, speedup))
+        if current > recorded * regress_factor and \
+                current - recorded > floor_seconds:
+            regressions.append(
+                f"{path}: {recorded:.4f}s -> {current:.4f}s "
+                f"({current / recorded:.2f}x slower)")
+    return rows, regressions
+
+
+def render(rows: List[Tuple], baseline: Dict, fresh: Dict) -> str:
+    lines = []
+    if baseline.get("smoke") != fresh.get("smoke"):
+        lines.append("WARNING: comparing runs of different sizing "
+                     f"(baseline smoke={baseline.get('smoke')}, "
+                     f"fresh smoke={fresh.get('smoke')}) — timings are not "
+                     "comparable")
+    width = max((len(path) for path, *_ in rows), default=20)
+    lines.append(f"{'row':<{width}} {'baseline':>10} {'fresh':>10} "
+                 f"{'speedup':>8}")
+    for path, recorded, current, speedup in rows:
+        lines.append(f"{path:<{width}} {recorded:>10.4f} {current:>10.4f} "
+                     f"{speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help="committed snapshot to compare against")
+    parser.add_argument("--fresh", type=pathlib.Path, default=None,
+                        help="already-written snapshot; omit to run the "
+                             "harness now")
+    parser.add_argument("--smoke", action="store_true",
+                        help="when running fresh, use smoke sizing")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="when running fresh, worker count")
+    parser.add_argument("--regress-factor", type=float, default=1.5,
+                        help="flag rows this many times slower (default 1.5)")
+    parser.add_argument("--floor-seconds", type=float, default=0.05,
+                        help="ignore absolute slowdowns below this")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit non-zero when any row regresses")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        parser.error(f"no baseline snapshot at {args.baseline}; run "
+                     "benchmarks/bench_baseline.py first")
+    baseline = json.loads(args.baseline.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        from bench_baseline import run_baseline
+        fresh = run_baseline(smoke=args.smoke, workers=args.workers,
+                             output=None)
+
+    rows, regressions = compare(baseline, fresh,
+                                regress_factor=args.regress_factor,
+                                floor_seconds=args.floor_seconds)
+    print(render(rows, baseline, fresh))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for message in regressions:
+            print(f"  {message}")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print("\nno regressions beyond "
+              f"{args.regress_factor}x + {args.floor_seconds}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

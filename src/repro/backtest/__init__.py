@@ -12,7 +12,8 @@ from .metrics import (
 )
 from .multiquery import MultiQueryBacktester, MultiQueryReport, modified_rule_names
 from .ranking import format_table, rank_results, suggestion_list
-from .replay import BacktestReport, BacktestResult, Backtester
+from .replay import (BacktestReport, BacktestResult, Backtester,
+                     WarmEvaluationState)
 
 __all__ = [
     "EarlyAbortPolicy",
@@ -20,5 +21,5 @@ __all__ = [
     "ks_two_sample", "per_host_counts", "total_variation_distance",
     "MultiQueryBacktester", "MultiQueryReport", "modified_rule_names",
     "format_table", "rank_results", "suggestion_list",
-    "BacktestReport", "BacktestResult", "Backtester",
+    "BacktestReport", "BacktestResult", "Backtester", "WarmEvaluationState",
 ]

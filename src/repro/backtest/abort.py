@@ -28,6 +28,7 @@ off.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -56,6 +57,31 @@ class EarlyAbortPolicy:
         if done < self.min_fraction * total:
             return False
         return done % self.check_every == 0
+
+    def due_span(self, start: int, done: int, total: int) -> bool:
+        """Did the replay pass a scheduled check anywhere in ``(start, done]``?
+
+        Burst-batched replays can only pause at batch boundaries; this
+        answers "was a per-packet check due since the last boundary", so the
+        abort cadence composes with ``replay_batch_size`` instead of forcing
+        per-packet replay.  Checks run against the statistics at ``done``;
+        the overload bound stays sound (the PacketIn counter is monotone)
+        and the KS heuristic simply observes a slightly longer prefix.
+
+        Like :meth:`due`, a completed replay (``done >= total``) schedules
+        no check — check points that fall inside the *final* burst are
+        subsumed by the full report's own verdict logic: the overload bound
+        is re-applied to the complete statistics by the backtester
+        (identical verdict), while the heuristic KS abort simply does not
+        fire on a replay that finished — the documented cadence dependence
+        of a heuristic whose prefix observations depend on ``check_every``
+        and batch size to begin with.
+        """
+        if done >= total:
+            return False
+        lowest = max(start + 1, math.ceil(self.min_fraction * total))
+        first = math.ceil(lowest / self.check_every) * self.check_every
+        return first <= done
 
     def breach(self, stats, done: int, baseline_stats,
                ks_threshold: Optional[float],

@@ -289,11 +289,25 @@ class MultiQueryBacktester(Backtester):
         repaired = apply_candidate(self.scenario.program, candidate)
         checker = _RuleDeltaChecker(self.scenario, self.scenario.program,
                                     candidate, repaired.program)
-        topology = self.scenario.build_topology()
-        candidate_controller = self.scenario.build_controller(
-            program=repaired.program,
-            extra_tuples=repaired.inserted_tuples,
-            removed_tuples=repaired.removed_tuples)
+        # Warm path: switch the per-worker engine to this candidate via a
+        # checkpoint restore + rule delta and reuse the topology (flow
+        # tables wiped); the shared-response wrapper and simulator are
+        # per-candidate by design and stay cheap to rebuild.
+        warm = self._warm()
+        candidate_controller = (warm.prepare_controller(repaired)
+                                if warm is not None else None)
+        if candidate_controller is not None:
+            self.warm_hits += 1
+            warm.reset_data_plane()
+            topology = warm.topology
+        else:
+            if warm is not None:
+                self.warm_fallbacks += 1
+            topology = self.scenario.build_topology()
+            candidate_controller = self.scenario.build_controller(
+                program=repaired.program,
+                extra_tuples=repaired.inserted_tuples,
+                removed_tuples=repaired.removed_tuples)
         shared = _SharedResponseController(
             self.scenario, _LazyBaseController(self.scenario),
             dict(trunk.base_cache), candidate_controller, checker,

@@ -88,6 +88,71 @@ class ShardOutcome:
     candidate_evaluations: int = 0
 
 
+class WarmEvaluationState:
+    """One warm engine/controller/simulator trio, reused across candidates.
+
+    Cold candidate evaluation pays a full setup per candidate: a fresh
+    engine (static-tuple fixpoint included), controller, topology and
+    simulator.  The warm state pays it once — for the *base* program — and
+    then switches candidates in O(rule delta): restore the engine to the
+    trace-start checkpoint, apply the candidate's rule diff through the
+    DRed machinery, drop the controller's per-program caches, and wipe the
+    data plane.  Results are bit-identical to the cold path; candidates
+    whose delta is ineligible (data edits, keyed-table cones, ambiguous
+    diffs) return ``None`` from the ``prepare_*`` methods and the caller
+    falls back to a cold build.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        self.base_program = scenario.program
+        self.controller = scenario.build_controller(program=None)
+        self.engine = self.controller.engine
+        self.checkpoint = self.engine.checkpoint()
+        self.topology = scenario.build_topology()
+        self.simulator = NetworkSimulator(
+            self.topology, self.controller,
+            require_packet_out=scenario.require_packet_out,
+            record_ingress=False)
+
+    def prepare_controller(self, repaired: RepairedProgram):
+        """Restore + rule-delta switch; the warm controller, or ``None``.
+
+        Data edits are rejected here: the cold path folds inserted/removed
+        tuples into the static fixpoint, whose interaction with update
+        semantics the delta machinery does not reproduce.  Rule-delta
+        eligibility is not pre-checked — ``apply_program_delta`` performs
+        that analysis on its single program diff and raises for ineligible
+        deltas, which (like any mid-delta failure, e.g. a repair deriving
+        schema-violating tuples) rewinds the journal and falls back; the
+        cold path then surfaces whatever the real error is.
+        """
+        if repaired.inserted_tuples or repaired.removed_tuples:
+            return None
+        self.engine.restore(self.checkpoint)
+        try:
+            self.engine.apply_program_delta(self.base_program,
+                                            repaired.program)
+        except Exception:
+            self.engine.restore(self.checkpoint)
+            self.controller.rebind_program(self.base_program)
+            return None
+        self.controller.rebind_program(repaired.program)
+        return self.controller
+
+    def reset_data_plane(self) -> None:
+        """Wipe the shared topology's flow tables for the next replay."""
+        for switch in self.topology.switches.values():
+            switch.flow_table.clear()
+
+    def prepare_simulator(self, repaired: RepairedProgram):
+        """A replay-ready warm simulator for ``repaired``, or ``None``."""
+        if self.prepare_controller(repaired) is None:
+            return None
+        self.simulator.reset_run()
+        return self.simulator
+
+
 @dataclass
 class BacktestResult:
     """Outcome of backtesting a single repair candidate."""
@@ -141,7 +206,8 @@ class Backtester:
                  max_packet_in_growth: Optional[float] = None,
                  workers: int = 1,
                  replay_batch_size: Optional[int] = None,
-                 abort_policy: Optional[EarlyAbortPolicy] = None):
+                 abort_policy: Optional[EarlyAbortPolicy] = None,
+                 warm_engine: bool = True):
         self.scenario = scenario
         self.ks_threshold = ks_threshold
         self.alpha = alpha
@@ -165,6 +231,15 @@ class Backtester:
         #: default) replays every candidate to completion, keeping all
         #: execution paths bit-identical.
         self.abort_policy = abort_policy
+        #: Reuse one warm engine+simulator pair per worker, switching
+        #: candidates via checkpoint restore + rule delta instead of a cold
+        #: rebuild (see :class:`WarmEvaluationState`).  Bit-identical to the
+        #: cold path; ineligible candidates fall back automatically.
+        self.warm_engine = warm_engine
+        self._warm_state: Optional[WarmEvaluationState] = None
+        #: Per-process counters: candidates served warm vs cold fallbacks.
+        self.warm_hits = 0
+        self.warm_fallbacks = 0
         self._baseline: Optional[TrafficStats] = None
 
     # ------------------------------------------------------------------
@@ -202,14 +277,42 @@ class Backtester:
     # Candidate evaluation
     # ------------------------------------------------------------------
 
+    def _warm(self) -> Optional[WarmEvaluationState]:
+        if not self.warm_engine:
+            return None
+        if self._warm_state is None:
+            self._warm_state = WarmEvaluationState(self.scenario)
+        return self._warm_state
+
+    def _replay_simulator(self, repaired: RepairedProgram) -> NetworkSimulator:
+        """A simulator ready to replay ``repaired`` — warm when eligible,
+        otherwise a cold per-candidate build (bit-identical either way)."""
+        warm = self._warm()
+        if warm is not None:
+            simulator = warm.prepare_simulator(repaired)
+            if simulator is not None:
+                self.warm_hits += 1
+                return simulator
+            self.warm_fallbacks += 1
+        topology = self.scenario.build_topology()
+        controller = self.scenario.build_controller(
+            program=repaired.program,
+            extra_tuples=repaired.inserted_tuples,
+            removed_tuples=repaired.removed_tuples)
+        return NetworkSimulator(
+            topology, controller,
+            require_packet_out=self.scenario.require_packet_out,
+            record_ingress=False)
+
     def evaluate(self, candidate: RepairCandidate) -> BacktestResult:
         started = _time.perf_counter()
         repaired = apply_candidate(self.scenario.program, candidate)
         abort_note = None
         if self.abort_policy is None:
-            stats = self.run_program(repaired.program,
-                                     extra_tuples=repaired.inserted_tuples,
-                                     removed_tuples=repaired.removed_tuples)
+            simulator = self._replay_simulator(repaired)
+            simulator.run_trace(self._trace(),
+                                batch_size=self.replay_batch_size)
+            stats = simulator.stats
         else:
             stats, abort_note = self._run_program_with_abort(repaired)
         ks = compare_traffic(self.baseline(), stats)
@@ -227,33 +330,47 @@ class Backtester:
                               elapsed_seconds=elapsed, notes=notes)
 
     def _run_program_with_abort(self, repaired: RepairedProgram):
-        """Per-packet replay with the abort policy's mid-trace checks.
+        """Replay with the abort policy's mid-trace checks.
 
         Returns ``(stats, note)`` where ``note`` is ``None`` for a completed
         replay or the abort reason (the statistics then cover only the
-        replayed prefix).  Abortable replays forgo burst batching: the
-        policy needs to observe statistics between packets.
+        replayed prefix).  With a ``replay_batch_size`` the trace replays in
+        bursts that *yield at batch boundaries*, where the policy's checks
+        run — :meth:`EarlyAbortPolicy.due_span` answers whether a check
+        point fell inside the burst just replayed (check points inside the
+        final burst are subsumed by the completed report's verdict logic;
+        see its docstring).  Without a batch size, the policy checks per
+        packet.
         """
         policy = self.abort_policy
         baseline = self.baseline()
-        topology = self.scenario.build_topology()
-        controller = self.scenario.build_controller(
-            program=repaired.program,
-            extra_tuples=repaired.inserted_tuples,
-            removed_tuples=repaired.removed_tuples)
-        simulator = NetworkSimulator(
-            topology, controller,
-            require_packet_out=self.scenario.require_packet_out,
-            record_ingress=False)
+        simulator = self._replay_simulator(repaired)
         trace = self._trace()
         threshold = None if self.use_significance else self.ks_threshold
+        total = len(trace)
+        batch = self.replay_batch_size
+        if batch is not None and batch > 1:
+            done = 0
+            while done < total:
+                chunk = trace[done:done + batch]
+                simulator.run_trace(chunk, batch_size=batch)
+                previous, done = done, done + len(chunk)
+                if policy.due_span(previous, done, total):
+                    reason = policy.breach(simulator.stats, done, baseline,
+                                           threshold,
+                                           self.max_packet_in_growth)
+                    if reason is not None:
+                        note = (f"aborted after {done}/{total} packets: "
+                                f"{reason}")
+                        return simulator.stats, note
+            return simulator.stats, None
         for done, (switch_id, packet) in enumerate(trace, 1):
             simulator.inject(packet, switch_id)
-            if policy.due(done, len(trace)):
+            if policy.due(done, total):
                 reason = policy.breach(simulator.stats, done, baseline,
                                        threshold, self.max_packet_in_growth)
                 if reason is not None:
-                    note = (f"aborted after {done}/{len(trace)} packets: "
+                    note = (f"aborted after {done}/{total} packets: "
                             f"{reason}")
                     return simulator.stats, note
         return simulator.stats, None

@@ -32,9 +32,11 @@ or a new join simply opts that one candidate out of batching.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..ndlog.ast import Program, Var, WILDCARD
+from ..ndlog.ast import Const, Program, Var, WILDCARD
+from ..ndlog.errors import EvaluationError
+from ..ndlog.expr import _compare
 from ..ndlog.tuples import TableSchema
 
 
@@ -170,6 +172,102 @@ def data_wildcard_free(program: Program, mapping,
         if any(atom.table in wildcarded_tables for atom in rule.body):
             return False
     return True
+
+
+class PacketInInertProbe:
+    """Decides, per PacketIn tuple key, whether *no rule can possibly fire*.
+
+    Extends the batched-replay probe beyond ingress misses: during a burst
+    walk, a packet can miss at a *downstream* switch whose key the ingress
+    probe never saw.  Per-packet replay answers those misses with a live
+    engine insertion that (for typical Swi-guarded programs) derives
+    nothing.  This probe proves the "derives nothing" part statically, so
+    the walk can serve a deterministic empty response without touching the
+    engine — a multi-switch walk then needs only the single ingress batch
+    call.
+
+    The proof mirrors the engine's trigger prefilter exactly: a rule
+    occurrence is ruled out when a constant argument of its PacketIn atom
+    mismatches the tuple, a variable repeats within the atom with
+    conflicting values, or a single-variable selection against a constant
+    (the variable bound by this atom, not overwritten by an assignment)
+    definitively fails.  ``==`` is wildcard-aware, other comparisons that
+    raise are treated as "might fire" — both exactly as the engine defers
+    them.  A key is inert only if *every* occurrence in the program is
+    ruled out; the verdict is conservative (``False`` never lies, ``True``
+    is a proof) and depends only on the program text, so it is cached per
+    key.
+    """
+
+    def __init__(self, program: Program, packet_in_table: str):
+        self._occurrences: List[Tuple] = []
+        self._cache: Dict[Tuple, bool] = {}
+        for rule in program.rules:
+            assigned = {assignment.var for assignment in rule.assignments}
+            for atom in rule.body:
+                if atom.table != packet_in_table:
+                    continue
+                consts: List[Tuple[int, object]] = []
+                var_column: Dict[str, int] = {}
+                conflicts: List[Tuple[int, int]] = []
+                for column, arg in enumerate(atom.args):
+                    if isinstance(arg, Const):
+                        consts.append((column, arg.value))
+                    elif isinstance(arg, Var):
+                        if arg.name in var_column:
+                            conflicts.append((var_column[arg.name], column))
+                        else:
+                            var_column[arg.name] = column
+                guards: List[Tuple[int, str, object, bool]] = []
+                for selection in rule.selections:
+                    left, right = selection.left, selection.right
+                    if isinstance(left, Var) and isinstance(right, Const):
+                        name, value, var_left = left.name, right.value, True
+                    elif isinstance(right, Var) and isinstance(left, Const):
+                        name, value, var_left = right.name, left.value, False
+                    else:
+                        continue
+                    if name in assigned or name not in var_column:
+                        continue
+                    guards.append((var_column[name], selection.op, value,
+                                   var_left))
+                self._occurrences.append((len(atom.args), tuple(consts),
+                                          tuple(conflicts), tuple(guards)))
+
+    def inert(self, values: Tuple) -> bool:
+        cached = self._cache.get(values)
+        if cached is not None:
+            return cached
+        verdict = all(self._ruled_out(occurrence, values)
+                      for occurrence in self._occurrences)
+        self._cache[values] = verdict
+        return verdict
+
+    @staticmethod
+    def _ruled_out(occurrence, values: Tuple) -> bool:
+        arity, consts, conflicts, guards = occurrence
+        if arity != len(values):
+            return True
+        for column, value in consts:
+            if values[column] != value:
+                return True
+        for first, second in conflicts:
+            if values[first] != values[second]:
+                return True
+        for column, op, value, var_left in guards:
+            bound = values[column]
+            if op == "==":
+                if bound != value and bound != WILDCARD and value != WILDCARD:
+                    return True
+            else:
+                try:
+                    ok = (_compare(op, bound, value) if var_left
+                          else _compare(op, value, bound))
+                except EvaluationError:
+                    continue      # deferred by the engine too: might fire
+                if not ok:
+                    return True
+        return False
 
 
 def batch_replay_safe(program: Program, mapping,

@@ -156,6 +156,12 @@ class _BatchReplayAdapter:
     def handle(self, events: Sequence[PacketInEvent]) -> List[PacketInResponse]:
         return self.controller.handle_packet_in_batch(events)
 
+    def is_inert(self, key: Tuple) -> bool:
+        """Is an empty response *provably* correct for this key, with no
+        engine involvement?  Lets multi-switch walks answer downstream
+        misses without breaking out of the shared batch call."""
+        return self.controller.packet_in_provably_inert(key)
+
 
 class NDlogController(Controller):
     """Runs an NDlog program as a reactive SDN controller application."""
@@ -189,6 +195,9 @@ class NDlogController(Controller):
         #: entirely.  Disabled while recording events, where each insertion
         #: must reach the historical log.
         self._empty_responses: set = set()
+        #: Lazily-built static inertness probe (see
+        #: :class:`repro.controllers.batching.PacketInInertProbe`).
+        self._inert_probe = None
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------
@@ -207,7 +216,23 @@ class NDlogController(Controller):
 
     def reset(self):
         self._empty_responses = set()
+        self._inert_probe = None
         self.engine = self._build_engine()
+
+    def rebind_program(self, program: Program):
+        """Point the controller at a program its engine already evaluates.
+
+        Warm candidate switching swaps the *engine's* rules in place
+        (:meth:`Engine.apply_program_delta` after a checkpoint restore);
+        this drops every per-program cache — batch-safety verdicts, the
+        empty-response memo, the inertness probe — so they are re-derived
+        for the new rule set.  The engine itself is left untouched.
+        """
+        self.program = program
+        self._engine_batch_safe = None
+        self._batch_replay_safe = None
+        self._empty_responses = set()
+        self._inert_probe = None
 
     # ------------------------------------------------------------------
     # Controller interface
@@ -316,6 +341,28 @@ class NDlogController(Controller):
         return PacketInResponse(flow_mods=tuple(flow_mods),
                                 packet_out_specs=tuple(packet_out_specs),
                                 derived_any=bool(derived))
+
+    def packet_in_provably_inert(self, values: Tuple) -> bool:
+        """May a PacketIn with this tuple key be answered with an empty
+        response without consulting the engine?
+
+        ``True`` only when the static analysis proves no rule can fire for
+        the key (see :class:`repro.controllers.batching.PacketInInertProbe`)
+        — then a live insertion would leave the engine untouched (the
+        PacketIn tuple is transient) and return no derivations, so skipping
+        it is behaviour-preserving.  Requires a transient PacketIn schema
+        and is only consulted on replay paths (``record_events=False``);
+        recording controllers must log every insertion.
+        """
+        if self.record_events:
+            return False
+        schema = self.engine.database.schema(self.mapping.packet_in_table)
+        if schema is None or schema.persistent:
+            return False
+        if self._inert_probe is None:
+            self._inert_probe = batching.PacketInInertProbe(
+                self.program, self.mapping.packet_in_table)
+        return self._inert_probe.inert(values)
 
     def _may_memoise_empty(self) -> bool:
         """Empty responses are permanent only when PacketIns join nothing

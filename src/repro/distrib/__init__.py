@@ -24,13 +24,15 @@ across Q1-Q5 by ``tests/distrib/test_transport_parity.py``).
 from ..backtest.abort import EarlyAbortPolicy
 from .coordinator import Coordinator, Scheduler
 from .jobs import (BACKTESTER_CLASSES, DistribError, JobRuntime,
-                   build_job_wire, register_backtester)
+                   RuntimeCache, build_job_wire, job_digest,
+                   register_backtester, strip_candidates)
 from .transport import (BaseTransport, InProcessTransport, SocketTransport,
                         SpawnTransport, TransportError, make_transport)
 
 __all__ = [
     "BACKTESTER_CLASSES", "BaseTransport", "Coordinator", "DistribError",
-    "EarlyAbortPolicy", "InProcessTransport", "JobRuntime", "Scheduler",
-    "SocketTransport", "SpawnTransport", "TransportError", "build_job_wire",
-    "make_transport", "register_backtester",
+    "EarlyAbortPolicy", "InProcessTransport", "JobRuntime", "RuntimeCache",
+    "Scheduler", "SocketTransport", "SpawnTransport", "TransportError",
+    "build_job_wire", "job_digest", "make_transport", "register_backtester",
+    "strip_candidates",
 ]

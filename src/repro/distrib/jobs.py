@@ -22,10 +22,28 @@ backtester once per job, computes the shared trunk lazily on the first
 evaluation, and then serves per-candidate work items by index.  Because the
 runtime calls the same ``_build_trunk`` / ``_evaluate_for_shard`` methods
 as the serial and fork paths, its results are bit-identical to both.
+
+Two refinements keep repeated jobs cheap:
+
+* **Runtime cache.**  Workers persist across jobs, so they keep a
+  :class:`RuntimeCache` keyed by the job's :func:`job_digest` — the
+  scenario spec, backtester class and configuration.  A repeated
+  ``evaluate_all`` on the same scenario reuses the worker's scenario,
+  backtester (warm engine included) and already-built shared trunk instead
+  of rebuilding them from the wire.
+* **Candidate streaming.**  A job may ship *without* its candidate list
+  (:func:`strip_candidates` replaces it with a count + content digest);
+  candidate wires then arrive individually with each dispatched item, so a
+  worker only ever receives the candidates it actually evaluates — this is
+  what the socket transport uses instead of re-sending the whole list to
+  every connection.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Type
 
 from ..backtest.abort import EarlyAbortPolicy
@@ -60,7 +78,7 @@ register_backtester(MultiQueryBacktester)
 #: stays local: parallelism is the transport's business, and a worker that
 #: forked its own pool would double-shard.
 _CONFIG_FIELDS = ("ks_threshold", "alpha", "use_significance", "trace_limit",
-                  "max_packet_in_growth", "replay_batch_size")
+                  "max_packet_in_growth", "replay_batch_size", "warm_engine")
 
 
 def build_job_wire(backtester: Backtester,
@@ -89,36 +107,136 @@ def build_job_wire(backtester: Backtester,
     }
 
 
-class JobRuntime:
-    """Worker-side execution state for one job."""
+def job_digest(job_wire: Dict) -> str:
+    """Content digest of everything that defines a job's *runtime*.
 
-    def __init__(self, job_wire: Dict):
+    Candidates and the abort policy are excluded on purpose: the runtime
+    cache serves any candidate list against the same scenario + backtester
+    configuration, and the abort policy is a plain attribute the runtime
+    re-points per job.
+    """
+    basis = json.dumps({"spec": job_wire["spec"],
+                        "backtester": job_wire["backtester"],
+                        "config": job_wire["config"]},
+                       sort_keys=True, default=str)
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+
+def strip_candidates(job_wire: Dict) -> Dict:
+    """A job header without the candidate wires (streamed per item instead).
+
+    The header keeps everything that defines the runtime plus the
+    candidate count (for queue bookkeeping); the candidate wires
+    themselves ride with the dispatched items.
+    """
+    header = {key: value for key, value in job_wire.items()
+              if key != "candidates"}
+    header["candidate_count"] = len(job_wire["candidates"])
+    return header
+
+
+class _RuntimeEntry:
+    """One cached (scenario, backtester, trunk) trio."""
+
+    __slots__ = ("scenario", "backtester", "trunk", "trunk_built")
+
+    def __init__(self, scenario, backtester):
+        self.scenario = scenario
+        self.backtester = backtester
+        self.trunk = None
+        self.trunk_built = False
+
+
+class RuntimeCache:
+    """Worker-side LRU cache of job runtimes, keyed by :func:`job_digest`.
+
+    Closes the "remote workers rebuild the shared trunk once per job"
+    cost: a repeated ``evaluate_all`` on the same scenario reuses the
+    scenario object, the backtester (with its warm engine and cached
+    baseline) and the shared multiquery trunk.  ``hits``/``misses`` are
+    exposed for tests and benchmarks.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, _RuntimeEntry]" = OrderedDict()
+
+    def get(self, digest: str) -> Optional[_RuntimeEntry]:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        return entry
+
+    def put(self, digest: str, entry: _RuntimeEntry) -> None:
+        self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class JobRuntime:
+    """Worker-side execution state for one job.
+
+    Accepts a full job wire (embedded candidate list — the spawn and
+    in-process transports) or a stripped header from
+    :func:`strip_candidates`, in which case candidate wires arrive with
+    each :meth:`evaluate` call.  With a :class:`RuntimeCache`, the
+    scenario/backtester/trunk trio is shared across same-digest jobs.
+    """
+
+    def __init__(self, job_wire: Dict, cache: Optional[RuntimeCache] = None):
         try:
-            spec = ScenarioSpec.from_wire(job_wire["spec"])
+            spec_wire = job_wire["spec"]
             cls = BACKTESTER_CLASSES[job_wire["backtester"]]
             config = dict(job_wire["config"])
             abort_wire = job_wire.get("abort")
-            self.candidates: List[RepairCandidate] = [
-                candidate_from_wire(w) for w in job_wire["candidates"]]
-        except (KeyError, TypeError) as exc:
+            if "candidates" in job_wire:
+                self.candidates: List[Optional[RepairCandidate]] = [
+                    candidate_from_wire(w) for w in job_wire["candidates"]]
+            else:
+                count = int(job_wire["candidate_count"])
+                self.candidates = [None] * count
+        except (KeyError, TypeError, ValueError) as exc:
             raise DistribError(f"malformed job wire: {exc!r}") from exc
-        self.scenario = spec.build()
         abort_policy = (EarlyAbortPolicy.from_wire(abort_wire)
                         if abort_wire is not None else None)
-        self.backtester = cls(self.scenario, workers=1,
-                              abort_policy=abort_policy, **config)
-        self._trunk = None
-        self._trunk_built = False
+        digest = job_digest(job_wire) if cache is not None else None
+        entry = cache.get(digest) if cache is not None else None
+        if entry is None:
+            scenario = ScenarioSpec.from_wire(spec_wire).build()
+            backtester = cls(scenario, workers=1, **config)
+            entry = _RuntimeEntry(scenario, backtester)
+            if cache is not None:
+                cache.put(digest, entry)
+        self._entry = entry
+        self.scenario = entry.scenario
+        self.backtester = entry.backtester
+        #: The policy is per-job even when the runtime is cached.
+        self.backtester.abort_policy = abort_policy
 
     def __len__(self) -> int:
         return len(self.candidates)
 
-    def evaluate(self, index: int) -> ShardOutcome:
+    def evaluate(self, index: int,
+                 candidate_wire: Optional[Dict] = None) -> ShardOutcome:
         """Evaluate candidate ``index``; the result ships candidate-free."""
-        if not self._trunk_built:
-            self._trunk = self.backtester._build_trunk()
-            self._trunk_built = True
-        outcome = self.backtester._evaluate_for_shard(
-            self.candidates[index], self._trunk)
+        candidate = self.candidates[index]
+        if candidate is None:
+            if candidate_wire is None:
+                raise DistribError(
+                    f"candidate {index} was not shipped with the job and no "
+                    f"wire came with the item")
+            candidate = candidate_from_wire(candidate_wire)
+            self.candidates[index] = candidate
+        entry = self._entry
+        if not entry.trunk_built:
+            entry.trunk = self.backtester._build_trunk()
+            entry.trunk_built = True
+        outcome = self.backtester._evaluate_for_shard(candidate, entry.trunk)
         outcome.result.candidate = None
         return outcome

@@ -49,7 +49,7 @@ import traceback
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
-from .jobs import DistribError, JobRuntime
+from .jobs import DistribError, JobRuntime, RuntimeCache, strip_candidates
 
 #: Callback invoked by ``run_job`` as results stream in (completion order).
 ResultCallback = Callable[[int, object], None]
@@ -122,12 +122,17 @@ class InProcessTransport(BaseTransport):
 
     This still exercises the whole wire path (spec rebuild, candidate
     decode), so it doubles as the cheapest integration test of a job.
+    Repeated jobs on one transport instance share the runtime cache, like
+    a persistent remote worker would.
     """
 
     name = "inprocess"
 
+    def __init__(self):
+        self.runtime_cache = RuntimeCache()
+
     def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
-        runtime = JobRuntime(job_wire)
+        runtime = JobRuntime(job_wire, cache=self.runtime_cache)
         for index in range(len(runtime)):
             on_result(index, runtime.evaluate(index))
 
@@ -141,8 +146,11 @@ def _spawn_worker_main(job_queue, task_queue, result_queue):
     """Worker loop: one job at a time, pull indices until the job sentinel.
 
     Runs in a ``spawn`` child: module-level so it can be located by import,
-    and parameterised only by queues and wire dicts.
+    and parameterised only by queues and wire dicts.  The runtime cache
+    persists across jobs, so repeated ``evaluate_all`` calls on the same
+    scenario skip the scenario/backtester/trunk rebuild.
     """
+    cache = RuntimeCache()
     while True:
         job_wire = job_queue.get()
         if job_wire is None:
@@ -150,7 +158,7 @@ def _spawn_worker_main(job_queue, task_queue, result_queue):
         runtime = None
         error = None
         try:
-            runtime = JobRuntime(job_wire)
+            runtime = JobRuntime(job_wire, cache=cache)
         except BaseException:            # noqa: BLE001 — report, then drain
             error = traceback.format_exc()
             result_queue.put(("job_error", error))
@@ -338,8 +346,18 @@ class _WorkerConnection(threading.Thread):
                     send_frame(self.sock, {"type": "job_done"})
                     return
                 current = index
+                # The candidate wire rides with the item: the job frame
+                # carried only a candidate-free header, so each worker
+                # receives just the candidates it evaluates.
+                candidate = self.transport._candidate_wire(job_id, index)
+                if candidate is None:
+                    # Job torn down between the index pop and the fetch
+                    # (a peer's failure ended it); nothing left to serve.
+                    send_frame(self.sock, {"type": "job_done"})
+                    return
                 try:
-                    send_frame(self.sock, {"type": "item", "index": index})
+                    send_frame(self.sock, {"type": "item", "index": index,
+                                           "candidate": candidate})
                 except OSError:
                     # The worker died between its last frame and our send;
                     # the popped item must go back for the survivors.
@@ -384,6 +402,11 @@ class SocketTransport(BaseTransport):
         # Per-job state, guarded by _lock.
         self._job_id = 0
         self._job_wire: Optional[Dict] = None
+        #: Candidate-free job header sent to every connection; the candidate
+        #: wires themselves ride with the dispatched items, so a worker only
+        #: receives the candidates it evaluates.
+        self._job_header: Optional[Dict] = None
+        self._job_candidates: List[Dict] = []
         self._pending: deque = deque()
         self._outstanding = 0
         self._on_result: Optional[ResultCallback] = None
@@ -484,6 +507,8 @@ class SocketTransport(BaseTransport):
                 raise TransportError("transport already has a job in flight")
             self._job_id += 1
             self._job_wire = job_wire
+            self._job_header = strip_candidates(job_wire)
+            self._job_candidates = list(job_wire["candidates"])
             self._pending = deque(range(count))
             self._outstanding = count
             self._on_result = on_result
@@ -498,6 +523,8 @@ class SocketTransport(BaseTransport):
                     self._failure = self._failure or "transport closed"
             failure = self._failure
             self._job_wire = None
+            self._job_header = None
+            self._job_candidates = []
             self._on_result = None
             self._pending = deque()
         if failure is not None:
@@ -518,7 +545,7 @@ class SocketTransport(BaseTransport):
         with self._lock:
             while not self._shutdown:
                 if self._job_wire is not None and self._pending:
-                    return self._job_id, self._job_wire
+                    return self._job_id, self._job_header
                 self._wakeup.wait(timeout=1.0)
             return None
 
@@ -527,6 +554,16 @@ class SocketTransport(BaseTransport):
             if job_id != self._job_id or not self._pending:
                 return None
             return self._pending.popleft()
+
+    def _candidate_wire(self, job_id: int, index: int) -> Optional[Dict]:
+        with self._lock:
+            # The job can be torn down (failure path clears the candidate
+            # list before _job_id advances) between a connection's index pop
+            # and this fetch; ``None`` tells the caller the job is gone.
+            if (job_id != self._job_id or self._job_wire is None
+                    or index >= len(self._job_candidates)):
+                return None
+            return self._job_candidates[index]
 
     def _requeue(self, job_id: int, index: int) -> None:
         with self._lock:

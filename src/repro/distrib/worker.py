@@ -5,10 +5,14 @@ Run one (or many, across machines) against a listening
 
     python -m repro.distrib.worker --connect HOST:PORT
 
-The worker speaks the length-prefixed frame protocol: it receives a job,
-rebuilds the scenario and backtester from the job's :class:`ScenarioSpec`
-and configuration, then pulls candidate indices one at a time and streams
+The worker speaks the length-prefixed frame protocol: it receives a job
+*header* (scenario spec + backtester configuration + candidate count — the
+candidate wires themselves arrive with each dispatched item, so the worker
+only ever holds the candidates it evaluates), rebuilds the scenario and
+backtester, then pulls candidate indices one at a time and streams
 :class:`ShardOutcome` results back until the coordinator says ``job_done``.
+A :class:`RuntimeCache` persists across jobs, so repeated ``evaluate_all``
+calls on the same scenario skip the scenario/backtester/trunk rebuild.
 It then waits for the next job; ``shutdown`` (or a closed connection) ends
 the process.  Only connect to coordinators you trust: frames are pickled.
 """
@@ -22,13 +26,14 @@ import sys
 import traceback
 from typing import Optional
 
-from .jobs import JobRuntime
+from .jobs import JobRuntime, RuntimeCache
 from .transport import recv_frame, send_frame
 
 
-def _serve_job(sock: socket.socket, job_wire) -> None:
+def _serve_job(sock: socket.socket, job_wire,
+               cache: Optional[RuntimeCache] = None) -> None:
     try:
-        runtime = JobRuntime(job_wire)
+        runtime = JobRuntime(job_wire, cache=cache)
     except BaseException:                # noqa: BLE001 — report and bail out
         send_frame(sock, {"type": "job_error",
                           "message": traceback.format_exc()})
@@ -45,7 +50,8 @@ def _serve_job(sock: socket.socket, job_wire) -> None:
             continue
         index = message["index"]
         try:
-            outcome = runtime.evaluate(index)
+            outcome = runtime.evaluate(index,
+                                       candidate_wire=message.get("candidate"))
         except BaseException:            # noqa: BLE001
             send_frame(sock, {"type": "error", "index": index,
                               "message": traceback.format_exc()})
@@ -56,6 +62,7 @@ def _serve_job(sock: socket.socket, job_wire) -> None:
 
 def serve(host: str, port: int) -> None:
     """Connect to a coordinator and process jobs until shutdown."""
+    cache = RuntimeCache()
     with socket.create_connection((host, port)) as sock:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_frame(sock, {"type": "hello", "pid": os.getpid()})
@@ -64,7 +71,7 @@ def serve(host: str, port: int) -> None:
             if message is None or message.get("type") == "shutdown":
                 return
             if message.get("type") == "job":
-                _serve_job(sock, message["job"])
+                _serve_job(sock, message["job"], cache=cache)
 
 
 def main(argv: Optional[list] = None) -> int:

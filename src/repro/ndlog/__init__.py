@@ -30,7 +30,9 @@ from .ast import (
     const,
     var,
 )
-from .engine import Engine, evaluate_program
+from .engine import (Engine, EngineCheckpoint, ProgramDelta,
+                     ProgramDeltaError, diff_programs, evaluate_program,
+                     program_delta_eligible)
 from .errors import EvaluationError, NDlogError, ParseError, SchemaError
 from .naive import NaiveEngine
 from .events import (
@@ -53,7 +55,9 @@ __all__ = [
     "Assignment", "Atom", "BinOp", "COMPARISON_OPERATORS", "Const",
     "Expression", "FuncCall", "Program", "Rule", "Selection", "Var",
     "WILDCARD", "assign", "atom", "comparison", "const", "var",
-    "Engine", "NaiveEngine", "evaluate_program",
+    "Engine", "EngineCheckpoint", "NaiveEngine", "ProgramDelta",
+    "ProgramDeltaError", "diff_programs", "evaluate_program",
+    "program_delta_eligible",
     "EvaluationError", "NDlogError", "ParseError", "SchemaError",
     "APPEAR", "DELETE", "DERIVE", "DISAPPEAR", "INSERT", "RECEIVE", "SEND",
     "UNDERIVE", "DerivationRecord", "EngineEvent",

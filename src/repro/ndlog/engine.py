@@ -58,6 +58,28 @@ determinism is what makes backtesting reproducible.  A scan-based reference
 implementation with identical insert-time semantics is kept in
 :mod:`repro.ndlog.naive` and is used by the test suite as a cross-check
 oracle.
+
+Warm evaluation
+---------------
+
+Backtesting replays the same trace against many near-identical programs, and
+rebuilding an engine per candidate makes *setup* — not the fixpoint — the
+recurring cost.  Two facilities move that cost off the per-candidate path:
+
+* :meth:`Engine.checkpoint` / :meth:`Engine.restore` snapshot the complete
+  evaluation state in O(changed) via an undo journal: once a checkpoint
+  exists, every mutation (tuples, flags, indexes, supports, dependents)
+  appends an inverse entry, and restoring rewinds the journal instead of
+  copying tables.  Append-only history (events, derivations) is simply
+  truncated back to the checkpointed lengths.
+* :meth:`Engine.apply_program_delta` switches to a candidate program by
+  *diffing* the rule sets: derivations of removed/modified rules are
+  retracted through the DRed support machinery, and only added/modified
+  rules are (re-)evaluated against the existing database — a cold
+  ``set_program`` + recompute is needed only for ineligible deltas (see
+  :func:`program_delta_eligible`).  Delta evaluation is quiet — it updates
+  tuples and supports but records no events/derivations — so warm engines
+  serve backtesting (``record_events=False``), not provenance capture.
 """
 
 from __future__ import annotations
@@ -81,6 +103,129 @@ from .events import (
 )
 from .expr import Bindings, FunctionRegistry, _compare, evaluate
 from .tuples import Database, NDTuple, TableSchema
+
+
+class ProgramDeltaError(EvaluationError):
+    """An incremental program switch cannot be applied (caller should fall
+    back to a cold rebuild)."""
+
+
+class ProgramDelta:
+    """Structural diff between two programs, keyed by rule name."""
+
+    __slots__ = ("removed", "added", "modified")
+
+    def __init__(self, removed: Set[str], added: Set[str], modified: Set[str]):
+        self.removed = removed
+        self.added = added
+        self.modified = modified
+
+    @property
+    def changed(self) -> Set[str]:
+        return self.removed | self.added | self.modified
+
+    def __bool__(self):
+        return bool(self.removed or self.added or self.modified)
+
+
+def diff_programs(old: Program, new: Program) -> Optional[ProgramDelta]:
+    """Diff two programs by rule name; ``None`` when names are ambiguous.
+
+    Rules are compared structurally (the AST dataclasses define deep
+    equality), so a renamed rule counts as removed + added and an edited
+    rule as modified.  Programs with duplicate rule names cannot be diffed.
+    """
+    old_map = {rule.name: rule for rule in old.rules}
+    new_map = {rule.name: rule for rule in new.rules}
+    if len(old_map) != len(old.rules) or len(new_map) != len(new.rules):
+        return None
+    removed = {name for name in old_map if name not in new_map}
+    added = {name for name in new_map if name not in old_map}
+    modified = {name for name, rule in old_map.items()
+                if name in new_map and new_map[name] != rule}
+    return ProgramDelta(removed, added, modified)
+
+
+def _changed_cone(delta: ProgramDelta, old: Program, new: Program) -> Set[str]:
+    """Tables whose contents can differ between the two programs: the head
+    tables of changed rules, closed transitively over both rule sets."""
+    cone: Set[str] = set()
+    for program, names in ((old, delta.removed | delta.modified),
+                           (new, delta.added | delta.modified)):
+        for rule in program.rules:
+            if rule.name in names:
+                cone.add(rule.head.table)
+    rules = list(old.rules) + list(new.rules)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.head.table in cone:
+                continue
+            if any(atom.table in cone for atom in rule.body):
+                cone.add(rule.head.table)
+                changed = True
+    return cone
+
+
+def _delta_ineligibility(old: Program, new: Program,
+                         schemas: Dict[str, TableSchema]
+                         ) -> Tuple[Optional[ProgramDelta], Optional[str]]:
+    """Single source of truth for delta eligibility.
+
+    Returns ``(delta, reason)``: ``reason`` is ``None`` when the delta may
+    be applied incrementally, otherwise a human-readable explanation (and
+    ``delta`` may be ``None`` for ambiguous diffs).
+    """
+    delta = diff_programs(old, new)
+    if delta is None:
+        return None, "duplicate rule names make the diff ambiguous"
+    if not delta:
+        return delta, None
+    for table in _changed_cone(delta, old, new):
+        schema = schemas.get(table)
+        if schema is not None and schema.primary_key:
+            return delta, (f"changed rules touch the primary-key table "
+                           f"{table!r} (evaluation-order dependent)")
+    return delta, None
+
+
+def program_delta_eligible(old: Program, new: Program,
+                           schemas: Dict[str, TableSchema]) -> bool:
+    """May ``old -> new`` be applied as an incremental rule delta?
+
+    Ineligible cases fall back to a cold rebuild:
+
+    * ambiguous diffs (duplicate rule names in either program), and
+    * deltas whose changed cone touches a primary-key table — key updates
+      evict by evaluation order, so retract-then-reseed could keep a
+      different same-key survivor than a from-scratch evaluation.
+    """
+    _delta, reason = _delta_ineligibility(old, new, schemas)
+    return reason is None
+
+
+class EngineCheckpoint:
+    """Opaque handle to a point-in-time engine state (see
+    :meth:`Engine.checkpoint`)."""
+
+    __slots__ = ("engine", "journal_length", "clock", "event_count",
+                 "derivation_count", "program", "incremental_ready",
+                 "plans_by_body_table", "plans_by_name", "rule_names")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.journal_length = len(engine._journal)
+        self.clock = engine.clock
+        self.event_count = len(engine.events)
+        self.derivation_count = len(engine.derivations)
+        self.program = engine.program
+        self.incremental_ready = engine._incremental_ready
+        # Plan dicts are replaced (never mutated) by _index_rules, so
+        # holding references makes the restore-side rollback a pointer swap.
+        self.plans_by_body_table = engine._plans_by_body_table
+        self.plans_by_name = engine._plans_by_name
+        self.rule_names = engine._rule_names
 
 
 class _AtomPlan:
@@ -198,6 +343,10 @@ class Engine:
         #: Plan cache for the _match_atom compatibility helper, keyed by
         #: atom identity (the atom object is kept referenced alongside).
         self._adhoc_plans: Dict[int, Tuple[Atom, _AtomPlan]] = {}
+        #: Undo journal, shared with the database; ``None`` until the first
+        #: :meth:`checkpoint` — non-warm engines pay one None-check per
+        #: mutation and nothing else.
+        self._journal: Optional[List] = None
         self.database.eviction_hook = self._on_evicted
         self._index_rules()
 
@@ -205,15 +354,35 @@ class Engine:
     # Setup helpers
     # ------------------------------------------------------------------
 
-    def _index_rules(self):
-        self._plans_by_body_table.clear()
-        self._rule_names = set()
+    def _index_rules(self, reuse_plans: Optional[Dict[str, "_RulePlan"]] = None,
+                     reuse_names: Optional[Set[str]] = None):
+        """(Re)compile the rule plans for the current program.
+
+        ``reuse_plans``/``reuse_names`` let a program delta keep the compiled
+        plans of structurally unchanged rules (plans depend only on rule
+        content), so switching candidates costs O(changed rules) instead of
+        recompiling the whole program.  Fresh dicts are assigned rather than
+        cleared: checkpoints hold references to the previous ones, making a
+        restore's plan rollback a pointer swap.
+        """
+        plans_by_body_table: Dict[str, List[Tuple[_RulePlan, int]]] = \
+            defaultdict(list)
+        plans_by_name: Dict[str, _RulePlan] = {}
+        rule_names: Set[str] = set()
         for rule in self.program.rules:
-            plan = _RulePlan(rule)
-            self._rule_names.add(rule.name)
+            if (reuse_plans is not None and reuse_names is not None
+                    and rule.name in reuse_names):
+                plan = reuse_plans[rule.name]
+            else:
+                plan = _RulePlan(rule)
+            rule_names.add(rule.name)
+            plans_by_name[rule.name] = plan
             for position in range(len(rule.body)):
-                self._plans_by_body_table[rule.body[position].table].append(
+                plans_by_body_table[rule.body[position].table].append(
                     (plan, position))
+        self._plans_by_body_table = plans_by_body_table
+        self._plans_by_name = plans_by_name
+        self._rule_names = rule_names
 
     def set_program(self, program: Program):
         """Swap in a new program (used when backtesting a repair candidate).
@@ -225,8 +394,14 @@ class Engine:
         self.program = program
         self._index_rules()
         if self._supports or self._dependents:
-            self._supports.clear()
-            self._dependents.clear()
+            if self._journal is not None:
+                self._journal.append(("supswap", self._supports,
+                                      self._dependents))
+                self._supports = {}
+                self._dependents = {}
+            else:
+                self._supports.clear()
+                self._dependents.clear()
             self._incremental_ready = False
 
     def register_schema(self, schema: TableSchema):
@@ -403,12 +578,22 @@ class Engine:
         touched_base: Set[NDTuple] = set()
         keyed_table_touched = self._in_keyed_table(tup)
         queue = deque([tup])
+        journal = self._journal
         while queue:
             current = queue.popleft()
-            for head, rule_name, body in self._dependents.pop(current, ()):
+            popped = self._dependents.pop(current, None)
+            if popped is None:
+                continue
+            if journal is not None:
+                journal.append(("deppop", current, popped))
+            for head, rule_name, body in popped:
                 supports = self._supports.get(head)
                 if supports is not None:
-                    supports.discard((rule_name, body))
+                    key = (rule_name, body)
+                    if key in supports:
+                        supports.discard(key)
+                        if journal is not None:
+                            journal.append(("supdel", head, key))
                     if not supports:
                         del self._supports[head]
                 if head in overdeleted_set or not self.database.contains(head):
@@ -466,6 +651,277 @@ class Engine:
         return self.database.remove(tup)
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore / program deltas (warm candidate switching)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the complete evaluation state in O(1).
+
+        The first checkpoint turns on the undo journal: from then on every
+        mutation appends an inverse entry, so :meth:`restore` rewinds in
+        O(mutations since the checkpoint) rather than O(database).
+        Checkpoints nest (restore to any still-live one); restoring an
+        older checkpoint invalidates newer ones.
+        """
+        if self._journal is None:
+            self._journal = []
+            self.database.journal = self._journal
+        return EngineCheckpoint(self)
+
+    def restore(self, cp: EngineCheckpoint) -> None:
+        """Rewind all state to ``cp``: tuples, flags, indexes, supports,
+        dependents, program/plans, clock and the event/derivation history."""
+        if cp.engine is not self:
+            raise EvaluationError("checkpoint belongs to a different engine")
+        journal = self._journal
+        if journal is None or len(journal) < cp.journal_length:
+            raise EvaluationError("checkpoint is no longer restorable")
+        database = self.database
+        database.journal = None     # undo must not journal itself
+        try:
+            while len(journal) > cp.journal_length:
+                entry = journal.pop()
+                kind = entry[0]
+                if kind.startswith("db"):
+                    database.apply_undo(entry)
+                elif kind == "supadd":
+                    _, head, key = entry
+                    supports = self._supports.get(head)
+                    if supports is not None:
+                        supports.discard(key)
+                        if not supports:
+                            del self._supports[head]
+                elif kind == "supdel":
+                    _, head, key = entry
+                    self._supports.setdefault(head, set()).add(key)
+                elif kind == "suppop":
+                    _, head, old_set = entry
+                    self._supports[head] = old_set
+                elif kind == "depadd":
+                    _, member, dep = entry
+                    dependents = self._dependents.get(member)
+                    if dependents is not None:
+                        dependents.discard(dep)
+                        if not dependents:
+                            del self._dependents[member]
+                elif kind == "depdel":
+                    _, member, dep = entry
+                    self._dependents.setdefault(member, set()).add(dep)
+                elif kind == "deppop":
+                    _, member, old_set = entry
+                    self._dependents[member] = old_set
+                elif kind == "supswap":
+                    _, old_supports, old_dependents = entry
+                    self._supports = old_supports
+                    self._dependents = old_dependents
+                else:           # pragma: no cover — defensive
+                    raise EvaluationError(f"unknown journal entry {kind!r}")
+        finally:
+            database.journal = journal
+        # Append-only history: truncate, unwinding the per-head indexes.
+        for record in reversed(self.derivations[cp.derivation_count:]):
+            by_head = self._derivations_by_head[record.head]
+            by_head.pop()
+            if not by_head:
+                del self._derivations_by_head[record.head]
+            recorded = self._recorded_bodies.get((record.rule, record.head))
+            if recorded is not None:
+                recorded.discard(record.body)
+                if not recorded:
+                    del self._recorded_bodies[(record.rule, record.head)]
+        del self.derivations[cp.derivation_count:]
+        del self.events[cp.event_count:]
+        self.clock = cp.clock
+        self._incremental_ready = cp.incremental_ready
+        if self.program is not cp.program:
+            self.program = cp.program
+            self._plans_by_body_table = cp.plans_by_body_table
+            self._plans_by_name = cp.plans_by_name
+            self._rule_names = cp.rule_names
+
+    def apply_program_delta(self, old_program: Program,
+                            new_program: Program) -> None:
+        """Switch from ``old_program`` to ``new_program`` incrementally.
+
+        Derivations of removed/modified rules are retracted through the
+        DRed support machinery (over-delete the cone, re-derive survivors),
+        then added/modified rules are seeded against the existing database
+        and propagated to a quiet fixpoint.  The resulting tuple set,
+        flags and support graph equal a from-scratch evaluation of
+        ``new_program`` over the same base tuples; the event/derivation
+        history is *not* extended (warm switching serves backtesting, where
+        ``record_events=False`` and provenance is never consulted).
+
+        Raises :class:`ProgramDeltaError` for ineligible deltas — callers
+        should pre-check with :func:`program_delta_eligible` and fall back
+        to :meth:`set_program` on a fresh (or restored) engine.
+        """
+        if self.program is not old_program and self.program != old_program:
+            raise ProgramDeltaError(
+                "apply_program_delta: engine is not running the old program")
+        if not self._incremental_ready:
+            raise ProgramDeltaError(
+                "apply_program_delta: support graph is stale (a prior "
+                "set_program bypassed incremental maintenance)")
+        delta, reason = _delta_ineligibility(old_program, new_program,
+                                             self.database.schemas())
+        if reason is not None:
+            raise ProgramDeltaError(
+                f"apply_program_delta: {reason}; cold rebuild required")
+        reuse_plans = self._plans_by_name
+        unchanged = (set(reuse_plans) & {r.name for r in new_program.rules}) \
+            - delta.changed
+        self.program = new_program
+        self._index_rules(reuse_plans=reuse_plans, reuse_names=unchanged)
+        if not delta:
+            return
+        inserted: List[NDTuple] = []
+        self._retract_rules(delta.removed | delta.modified, inserted)
+        self._seed_rules(delta.added | delta.modified, inserted)
+        # Transient heads leave the store after a fixpoint, exactly as
+        # insert-time evaluation would have cleaned them up.
+        self._cleanup_transients(inserted)
+
+    def _retract_rules(self, rule_names: Set[str],
+                       inserted: List[NDTuple]) -> None:
+        """Retract every derivation currently supported by ``rule_names``.
+
+        Mirrors :meth:`remove`'s two DRed phases, with stale-support removal
+        (instead of a base-tuple deletion) as the seed.  The support scan is
+        O(live supports) — bounded by the checkpointed state on the warm
+        path, where it replaces an O(database) recompute per candidate.
+        """
+        if not rule_names:
+            return
+        journal = self._journal
+        stale: List[Tuple[NDTuple, Tuple[str, Tuple[NDTuple, ...]]]] = []
+        for head, supports in self._supports.items():
+            for key in supports:
+                if key[0] in rule_names:
+                    stale.append((head, key))
+        if not stale:
+            return
+        seeds: List[NDTuple] = []
+        seen_seeds: Set[NDTuple] = set()
+        for head, key in stale:
+            supports = self._supports.get(head)
+            if supports is None or key not in supports:
+                continue
+            supports.discard(key)
+            if journal is not None:
+                journal.append(("supdel", head, key))
+            if not supports:
+                del self._supports[head]
+            rule_name, body = key
+            dep = (head, rule_name, body)
+            for member in body:
+                member_deps = self._dependents.get(member)
+                if member_deps is not None and dep in member_deps:
+                    member_deps.discard(dep)
+                    if journal is not None:
+                        journal.append(("depdel", member, dep))
+                    if not member_deps:
+                        del self._dependents[member]
+            if head not in seen_seeds:
+                seen_seeds.add(head)
+                seeds.append(head)
+
+        # Phase 1: over-delete the seeds and their downstream cone.
+        overdeleted: List[NDTuple] = []
+        overdeleted_set: Set[NDTuple] = set()
+        touched_base: Set[NDTuple] = set()
+        queue = deque()
+        for head in seeds:
+            if not self.database.contains(head):
+                continue
+            if self.database.is_base(head):
+                touched_base.add(head)
+                continue
+            self.database.remove(head)
+            overdeleted.append(head)
+            overdeleted_set.add(head)
+            queue.append(head)
+        while queue:
+            current = queue.popleft()
+            popped = self._dependents.pop(current, None)
+            if popped is None:
+                continue
+            if journal is not None:
+                journal.append(("deppop", current, popped))
+            for head, rule_name, body in popped:
+                supports = self._supports.get(head)
+                if supports is not None:
+                    key = (rule_name, body)
+                    if key in supports:
+                        supports.discard(key)
+                        if journal is not None:
+                            journal.append(("supdel", head, key))
+                    if not supports:
+                        del self._supports[head]
+                if head in overdeleted_set or not self.database.contains(head):
+                    continue
+                if self.database.is_base(head):
+                    touched_base.add(head)
+                    continue
+                self.database.remove(head)
+                overdeleted.append(head)
+                overdeleted_set.add(head)
+                queue.append(head)
+
+        # Phase 2: re-derive members of the cone with a surviving support.
+        worklist = [head for head in overdeleted
+                    if self._has_valid_support(head)]
+        for head in worklist:
+            self.database.insert(head, derived=True)
+        for head in touched_base:
+            if not self._has_valid_support(head):
+                self.database.clear_derived_flag(head)
+        if worklist:
+            self._rederive_fixpoint(worklist, inserted=inserted)
+
+    def _seed_rules(self, rule_names: Set[str],
+                    inserted: List[NDTuple]) -> None:
+        """Evaluate ``rule_names`` (added/modified rules of the current
+        program) against the whole database, then propagate quietly."""
+        if not rule_names:
+            return
+        journal = self._journal
+        supports = self._supports
+        dependents = self._dependents
+        database = self.database
+        seeded: List[NDTuple] = []
+        for rule in self.program.rules:
+            if rule.name not in rule_names or not rule.body:
+                continue
+            plan = self._plans_by_name[rule.name]
+            table = plan.atom_plans[0].table
+            # Enumerating all firings from atom 0 covers the whole rule:
+            # the join walks the remaining atoms through the indexes.
+            for trigger in list(database.table(table)):
+                for head, body, _bindings in self._fire_rule(plan, 0, trigger):
+                    key = (rule.name, body)
+                    head_supports = supports.setdefault(head, set())
+                    if key in head_supports:
+                        continue
+                    head_supports.add(key)
+                    if journal is not None:
+                        journal.append(("supadd", head, key))
+                    dep = (head, rule.name, body)
+                    for member in body:
+                        member_deps = dependents.setdefault(member, set())
+                        if dep not in member_deps:
+                            member_deps.add(dep)
+                            if journal is not None:
+                                journal.append(("depadd", member, dep))
+                    fresh = not database.contains(head)
+                    database.insert(head, derived=True)
+                    if fresh:
+                        seeded.append(head)
+        if seeded:
+            inserted.extend(seeded)
+            self._rederive_fixpoint(seeded, inserted=inserted)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -494,6 +950,7 @@ class Engine:
         supports = self._supports
         dependents = self._dependents
         database = self.database
+        journal = self._journal
         while worklist:
             trigger = worklist.popleft()
             for plan, position in self._plans_by_body_table.get(trigger.table, ()):
@@ -507,8 +964,16 @@ class Engine:
                     if fired is not None:
                         fired.append((head, body))
                     entry = (head, plan.rule.name, body)
-                    for member in body:
-                        dependents.setdefault(member, set()).add(entry)
+                    if journal is None:
+                        for member in body:
+                            dependents.setdefault(member, set()).add(entry)
+                    else:
+                        journal.append(("supadd", head, key))
+                        for member in body:
+                            member_deps = dependents.setdefault(member, set())
+                            if entry not in member_deps:
+                                member_deps.add(entry)
+                                journal.append(("depadd", member, entry))
                     is_new = not database.contains(head)
                     record = self._record_derivation(plan.rule, head, body, bindings)
                     if record is None and is_new:
@@ -523,17 +988,21 @@ class Engine:
                         worklist.append(head)
         return newly_derived
 
-    def _rederive_fixpoint(self, delta: Sequence[NDTuple]):
+    def _rederive_fixpoint(self, delta: Sequence[NDTuple],
+                           inserted: Optional[List[NDTuple]] = None):
         """Quiet fixpoint used by the deletion re-derivation phase.
 
         Re-registers supports and re-inserts tuples without appending to the
         event log or the derivation history (matching the silent recompute of
-        the reference evaluator).
+        the reference evaluator).  ``inserted`` (when given) accumulates the
+        tuples newly added to the database, so program-delta callers can
+        clean up transient heads afterwards.
         """
         worklist = deque(delta)
         supports = self._supports
         dependents = self._dependents
         database = self.database
+        journal = self._journal
         while worklist:
             trigger = worklist.popleft()
             for plan, position in self._plans_by_body_table.get(trigger.table, ()):
@@ -544,10 +1013,21 @@ class Engine:
                     if fresh_support:
                         head_supports.add(key)
                         entry = (head, plan.rule.name, body)
-                        for member in body:
-                            dependents.setdefault(member, set()).add(entry)
+                        if journal is None:
+                            for member in body:
+                                dependents.setdefault(member, set()).add(entry)
+                        else:
+                            journal.append(("supadd", head, key))
+                            for member in body:
+                                member_deps = dependents.setdefault(member,
+                                                                    set())
+                                if entry not in member_deps:
+                                    member_deps.add(entry)
+                                    journal.append(("depadd", member, entry))
                     if not database.contains(head):
                         database.insert(head, derived=True)
+                        if inserted is not None:
+                            inserted.append(head)
                         worklist.append(head)
                     elif fresh_support:
                         database.insert(head, derived=True)
@@ -555,7 +1035,9 @@ class Engine:
     def _on_evicted(self, tup: NDTuple):
         """A primary-key update evicted ``tup``: forget its supports so the
         same firing can re-derive it once the key is free again."""
-        self._supports.pop(tup, None)
+        popped = self._supports.pop(tup, None)
+        if popped is not None and self._journal is not None:
+            self._journal.append(("suppop", tup, popped))
 
     def _in_keyed_table(self, tup: NDTuple) -> bool:
         schema = self.database.schema(tup.table)
@@ -572,8 +1054,13 @@ class Engine:
         before = self.database.derived_tuples()
         for tup in before:
             self.database.clear_derived_flag(tup)
-        self._supports.clear()
-        self._dependents.clear()
+        if self._journal is not None:
+            self._journal.append(("supswap", self._supports, self._dependents))
+            self._supports = {}
+            self._dependents = {}
+        else:
+            self._supports.clear()
+            self._dependents.clear()
         self._rederive_fixpoint(list(self.database.base_tuples()))
         self._incremental_ready = True
         disappeared = []

@@ -143,6 +143,10 @@ class Database:
         #: Called with each tuple evicted by a primary-key update, so an
         #: engine can keep its incremental bookkeeping consistent.
         self.eviction_hook = None
+        #: Undo journal shared with an :class:`~repro.ndlog.engine.Engine`
+        #: checkpoint.  While set, every mutation appends an inverse entry;
+        #: :meth:`apply_undo` plays entries back (newest first) to rewind.
+        self.journal: Optional[List] = None
 
     # -- schema management -------------------------------------------------
 
@@ -286,8 +290,18 @@ class Database:
         if fresh:
             bucket.add(tup)
             self._index_add(tup)
+            if self.journal is not None:
+                self.journal.append(("dbadd", tup))
+            flag = DERIVED_FLAG if derived else BASE_FLAG
+            self._flags[tup] = flag
+            return True
         flag = DERIVED_FLAG if derived else BASE_FLAG
-        self._flags[tup] = self._flags.get(tup, 0) | flag
+        old = self._flags.get(tup, 0)
+        new = old | flag
+        if new != old:
+            if self.journal is not None:
+                self.journal.append(("dbflag", tup, old))
+            self._flags[tup] = new
         return fresh
 
     def remove(self, tup: NDTuple):
@@ -295,6 +309,8 @@ class Database:
         bucket = self._tables.get(tup.table)
         if bucket is None or tup not in bucket:
             return False
+        if self.journal is not None:
+            self.journal.append(("dbrem", tup, self._flags.get(tup, 0)))
         bucket.remove(tup)
         self._index_discard(tup)
         self._flags.pop(tup, None)
@@ -311,6 +327,8 @@ class Database:
             return False
         remaining = flags & ~BASE_FLAG
         if remaining:
+            if self.journal is not None:
+                self.journal.append(("dbflag", tup, flags))
             self._flags[tup] = remaining
             return False
         return self.remove(tup)
@@ -325,9 +343,37 @@ class Database:
             return False
         remaining = flags & ~DERIVED_FLAG
         if remaining:
+            if self.journal is not None:
+                self.journal.append(("dbflag", tup, flags))
             self._flags[tup] = remaining
             return False
         return self.remove(tup)
+
+    def apply_undo(self, entry) -> None:
+        """Invert one journal entry (callers replay the journal newest-first).
+
+        Undo bypasses schema checks, key-conflict eviction and further
+        journaling on purpose: the entry describes the exact storage-level
+        change to revert, nothing more.
+        """
+        kind = entry[0]
+        if kind == "dbadd":
+            tup = entry[1]
+            bucket = self._tables.get(tup.table)
+            if bucket is not None:
+                bucket.discard(tup)
+            self._index_discard(tup)
+            self._flags.pop(tup, None)
+        elif kind == "dbrem":
+            _, tup, flags = entry
+            self._tables.setdefault(tup.table, set()).add(tup)
+            self._index_add(tup)
+            self._flags[tup] = flags
+        elif kind == "dbflag":
+            _, tup, flags = entry
+            self._flags[tup] = flags
+        else:                        # pragma: no cover — engine-side entry
+            raise ValueError(f"unknown database journal entry {kind!r}")
 
     def clear_table(self, table):
         for tup in list(self._tables.get(table, ())):

@@ -92,6 +92,23 @@ class NetworkSimulator:
         self._apply_messages(messages)
         self._started = True
 
+    def reset_run(self):
+        """Reset for a fresh replay over the same topology and controller.
+
+        Statistics and the historical log restart empty, the flow tables are
+        wiped, and the next injection re-runs the controller's ``on_start``
+        — exactly the state a newly constructed simulator over a fresh
+        topology would be in.  Used by warm candidate evaluation, which
+        reuses one simulator across many replays instead of rebuilding it.
+        """
+        self.stats = TrafficStats()
+        self.log = HistoricalLog()
+        self._started = False
+        self._burst_adapter = None
+        self._burst_responses = {}
+        for switch in self.topology.switches.values():
+            switch.flow_table.clear()
+
     def _apply_messages(self, messages) -> List[PacketOut]:
         packet_outs: List[PacketOut] = []
         for message in messages:
@@ -180,8 +197,10 @@ class NetworkSimulator:
         the same precomputed response instead of being re-probed.
         """
         self.start()
+        inert_probe = getattr(adapter, "is_inert", None)
         pending_keys: List[Tuple] = []
         probe_events: Dict[Tuple, PacketInEvent] = {}
+        inert_keys: set = set()
         walk_plan: List[Tuple[int, Packet, Optional[int],
                               Optional[FlowEntry]]] = []
         for switch_id, packet in burst:
@@ -197,17 +216,25 @@ class NetworkSimulator:
             if entry is not None:
                 continue
             key = adapter.key(switch_id, packet, in_port)
-            if key not in probe_events:
-                probe_events[key] = PacketInEvent(
-                    switch_id=switch_id, packet=packet, in_port=in_port,
-                    time=self.log.clock)
-                pending_keys.append(key)
+            if key in probe_events or key in inert_keys:
+                continue
+            if inert_probe is not None and inert_probe(key):
+                # Provably no rule fires for this key: serve the empty
+                # response without ever reaching the engine.
+                inert_keys.add(key)
+                continue
+            probe_events[key] = PacketInEvent(
+                switch_id=switch_id, packet=packet, in_port=in_port,
+                time=self.log.clock)
+            pending_keys.append(key)
         groups: Dict[int, List[Tuple]] = {}
         for key in pending_keys:
             groups.setdefault(probe_events[key].switch_id, []).append(key)
         self._burst_adapter = adapter
         self._burst_responses = {}
         try:
+            for key in inert_keys:
+                self._burst_responses[key] = _PendingResponse(_INERT_RESPONSE)
             for keys in groups.values():
                 responses = adapter.handle([probe_events[key] for key in keys])
                 for key, response in zip(keys, responses):
@@ -292,6 +319,10 @@ class NetworkSimulator:
         the response derived nothing (the engine was left untouched, so a
         live call would deterministically return the same answer); anything
         else goes to the live controller, exactly like per-packet replay.
+        Misses at keys the ingress probe never saw — downstream hops of a
+        multi-switch walk — are answered with a deterministic empty
+        response when the adapter proves the key inert, keeping the whole
+        walk inside the burst's single batch call.
         """
         if self._burst_adapter is not None:
             key = self._burst_adapter.key(event.switch_id, event.packet,
@@ -303,6 +334,12 @@ class NetworkSimulator:
                     return pending.response.messages_for(event.packet)
                 if not pending.response.derived_any:
                     return pending.response.messages_for(event.packet)
+            else:
+                inert_probe = getattr(self._burst_adapter, "is_inert", None)
+                if inert_probe is not None and inert_probe(key):
+                    self._burst_responses[key] = _PendingResponse(
+                        _INERT_RESPONSE)
+                    return []
         return self.controller.handle_packet_in(event)
 
     def _flood(self, switch: Switch, packet: Packet, in_port: Optional[int],
@@ -335,6 +372,21 @@ class _PendingResponse:
     def __init__(self, response):
         self.response = response
         self.served = False
+
+
+class _InertResponse:
+    """The response for a key no rule can fire on: no messages, replayable
+    any number of times (``derived_any=False`` — the engine was never
+    touched, so a live call would deterministically answer the same)."""
+
+    derived_any = False
+
+    @staticmethod
+    def messages_for(_packet) -> List[object]:
+        return []
+
+
+_INERT_RESPONSE = _InertResponse()
 
 
 def clear_reactive_state(topology: Topology, keep_priority: int = 1) -> None:

@@ -25,7 +25,7 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 2
+    assert payload["schema_version"] == 3
     assert payload["smoke"] is True
 
     engine = payload["engine"]
@@ -36,8 +36,8 @@ def test_baseline_harness_smoke(tmp_path):
     # The parallel rows exist regardless of fork: without it, evaluate_all
     # degrades to the fabric's spawn transport instead of running serial.
     fig9b = payload["fig9b"]
-    expected_modes = {"sequential", "sequential_batched", "multiquery",
-                      "parallel", "multiquery_parallel"}
+    expected_modes = {"sequential", "sequential_cold", "sequential_batched",
+                      "multiquery", "parallel", "multiquery_parallel"}
     assert expected_modes <= set(fig9b)
     assert fig9b["parallel"]["workers"] == 2
     assert fig9b["multiquery_parallel"]["workers"] == 2
@@ -57,3 +57,15 @@ def test_baseline_harness_smoke(tmp_path):
     reference = payload["smoke_reference"]
     assert reference["fig9b_sequential"]["seconds"] > 0
     assert set(reference["engine"]) == {"join_insert", "delete"}
+
+    # Schema v3: the warm-vs-cold setup amortization rows.  Warm switching
+    # must beat the cold rebuild at every recorded size (the committed
+    # full-size row clears 2x; the smoke floor stays conservative).
+    warm = payload["warm_vs_cold"]
+    assert set(warm) == {"fig9b_workload", "candidates_24"}
+    for row in warm.values():
+        assert row["warm_setup_seconds"] > 0
+        assert row["cold_setup_seconds"] > 0
+        assert row["per_candidate_speedup"] > 1.0
+        assert row["warm_fallbacks"] == 0
+    assert reference["warm_vs_cold"]["candidates"] == 3

@@ -1,0 +1,227 @@
+"""Warm-engine parity suite.
+
+Acceptance contract: ``evaluate_all`` with warm candidate switching
+(checkpoint restore + rule delta, the default) produces **bit-identical**
+``BacktestReport``s — statistics with delivery records, KS results,
+verdicts, notes and multi-query sharing counters — to the cold per-candidate
+rebuild (``warm_engine=False``) for Q1-Q5 under both backtester classes.
+
+Also covered: the automatic cold fallback for ineligible deltas (data
+edits, keyed-table cones) inside an otherwise-warm run, warm interaction
+with batched replay and the early-abort policy, and the warm counters the
+benchmarks report.
+"""
+
+import pytest
+
+from repro.backtest import Backtester, EarlyAbortPolicy, MultiQueryBacktester
+from repro.ndlog.ast import Var
+from repro.ndlog.parser import parse_program
+from repro.ndlog.tuples import NDTuple
+from repro.repair import (AddRule, ChangeAssignment, ChangeConstant,
+                          DeleteRule, DeleteSelection, InsertTuple,
+                          RepairCandidate)
+from repro.scenarios import build_scenario
+
+SCENARIOS = ["Q1", "Q2", "Q3", "Q4", "Q5"]
+BACKTESTERS = [Backtester, MultiQueryBacktester]
+
+
+def scenario_candidates(name):
+    """One plausible fix plus one overly general repair per scenario (the
+    same pairs as the transport parity suite)."""
+    if name == "Q1":
+        return [
+            RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),),
+                            cost=1.1, description="r7: Swi==2 -> Swi==3"),
+            RepairCandidate(edits=(DeleteSelection("r7", 0, "Swi == 2"),),
+                            cost=2.0, description="r7: delete Swi==2"),
+        ]
+    if name == "Q2":
+        return [
+            RepairCandidate(edits=(ChangeConstant("q2c", 2, "right", 6, 7),),
+                            cost=1.1, description="q2c: Sip<6 -> Sip<7"),
+            RepairCandidate(edits=(DeleteSelection("q2c", 2, "Sip < 6"),),
+                            cost=2.0, description="q2c: delete Sip<6"),
+        ]
+    if name == "Q3":
+        return [
+            RepairCandidate(edits=(ChangeConstant("q3fw", 2, "right", 3, 2),),
+                            cost=1.1, description="q3fw: Sip>3 -> Sip>2"),
+            RepairCandidate(edits=(DeleteSelection("q3fw", 2, "Sip > 3"),),
+                            cost=2.0, description="q3fw: delete Sip>3"),
+        ]
+    if name == "Q4":
+        po_http = parse_program(
+            "q4poH PacketOut(@Swi,Prt) :- PacketIn(@C,Swi,Sip,Hdr), "
+            "Swi == 8, Hdr == 80, Prt := 1.").rules[0]
+        return [
+            RepairCandidate(edits=(AddRule(po_http),), cost=1.4,
+                            description="add HTTP packet-out rule"),
+            RepairCandidate(edits=(AddRule(po_http), DeleteRule("q4http")),
+                            cost=2.4,
+                            description="packet-out only (no flow entries)"),
+        ]
+    if name == "Q5":
+        return [
+            RepairCandidate(edits=(ChangeAssignment("f1", 0, "Hip", "*",
+                                                    Var("Sip")),),
+                            cost=1.1, description="f1: Hip := * -> Sip"),
+            RepairCandidate(edits=(DeleteRule("f2"),), cost=2.0,
+                            description="delete f2"),
+        ]
+    raise ValueError(name)
+
+
+def stats_snapshot(stats):
+    return (stats.delivered_per_host, stats.dropped, stats.total,
+            stats.packet_in_count, stats.flow_mod_count,
+            stats.packet_out_count,
+            [(r.packet, r.delivered_to, r.dropped_at, r.path)
+             for r in stats.delivery_records])
+
+
+def report_snapshot(report):
+    rows = []
+    for result in report.results:
+        rows.append((result.candidate.description, result.candidate.tag,
+                     result.effective, result.accepted, result.ks,
+                     result.notes, stats_snapshot(result.stats)))
+    extra = ()
+    if hasattr(report, "shared_evaluations"):
+        extra = (report.shared_evaluations, report.candidate_evaluations)
+    return (stats_snapshot(report.baseline), tuple(rows), extra,
+            report.packet_count)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {name: build_scenario(name) for name in SCENARIOS}
+
+
+@pytest.fixture(scope="module")
+def candidate_sets():
+    """One candidate list per scenario, shared by the warm and cold runs
+    (candidate tags are per-object and part of the report snapshot)."""
+    return {name: scenario_candidates(name) for name in SCENARIOS}
+
+
+@pytest.fixture(scope="module")
+def cold_snapshots(scenarios, candidate_sets):
+    out = {}
+    for name in SCENARIOS:
+        for cls in BACKTESTERS:
+            backtester = cls(scenarios[name],
+                             ks_threshold=scenarios[name].ks_threshold,
+                             warm_engine=False)
+            report = backtester.evaluate_all(candidate_sets[name])
+            assert backtester.warm_hits == 0
+            out[(name, cls.__name__)] = report_snapshot(report)
+    return out
+
+
+@pytest.mark.parametrize("cls", BACKTESTERS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_warm_matches_cold(scenarios, cold_snapshots, candidate_sets, name,
+                           cls):
+    backtester = cls(scenarios[name],
+                     ks_threshold=scenarios[name].ks_threshold)
+    report = backtester.evaluate_all(candidate_sets[name])
+    assert report_snapshot(report) == cold_snapshots[(name, cls.__name__)]
+    assert backtester.warm_hits + backtester.warm_fallbacks == \
+        len(candidate_sets[name])
+    # The Q1-Q4 rule edits all qualify for the warm path.  Q5 splits: the
+    # f1 edit feeds the keyed Learned table (delta-ineligible, cold
+    # fallback) while deleting f2 only touches the keyless FlowTable cone.
+    if name == "Q5":
+        assert backtester.warm_hits == 1
+        assert backtester.warm_fallbacks == 1
+    else:
+        assert backtester.warm_fallbacks == 0
+
+
+@pytest.mark.parametrize("cls", BACKTESTERS)
+def test_ineligible_delta_falls_back_mid_run(scenarios, cls):
+    """A data-edit candidate (delta-ineligible) rides along with warm ones;
+    the mixed report must equal the all-cold report row for row."""
+    scenario = scenarios["Q1"]
+    flow_tuple = NDTuple("FlowTable", (3, 101, 80, 2))
+    candidates = scenario_candidates("Q1") + [
+        RepairCandidate(edits=(InsertTuple(flow_tuple),), cost=3.0,
+                        description="insert FlowTable(3,101,80,2)"),
+    ]
+    warm = cls(scenario, ks_threshold=scenario.ks_threshold)
+    cold = cls(scenario, ks_threshold=scenario.ks_threshold,
+               warm_engine=False)
+    warm_report = warm.evaluate_all(candidates)
+    cold_report = cold.evaluate_all(candidates)
+    assert report_snapshot(warm_report) == report_snapshot(cold_report)
+    assert warm.warm_hits == 2
+    assert warm.warm_fallbacks == 1
+
+
+def test_warm_with_batched_replay(scenarios, cold_snapshots, candidate_sets):
+    scenario = scenarios["Q2"]
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold,
+                            replay_batch_size=8)
+    report = backtester.evaluate_all(candidate_sets["Q2"])
+    assert report_snapshot(report) == cold_snapshots[("Q2", "Backtester")]
+    assert backtester.warm_fallbacks == 0
+
+
+def test_warm_abort_matches_cold_abort():
+    """Warm replay under the abort policy aborts at the same points with
+    the same partial statistics as the cold replay."""
+    scenario = build_scenario("Q1")
+    flooder = RepairCandidate(edits=(DeleteRule("r1"),), cost=3.0,
+                              description="delete r1 (floods controller)")
+    fix = scenario_candidates("Q1")[0]
+    policy = EarlyAbortPolicy(check_every=8, min_fraction=0.1)
+    kwargs = dict(ks_threshold=scenario.ks_threshold,
+                  max_packet_in_growth=1.5, abort_policy=policy)
+    for cls in BACKTESTERS:
+        warm_report = cls(scenario, **kwargs).evaluate_all([flooder, fix])
+        cold_report = cls(scenario, warm_engine=False,
+                          **kwargs).evaluate_all([flooder, fix])
+        assert report_snapshot(warm_report) == report_snapshot(cold_report)
+        aborted = warm_report.results[0]
+        assert not aborted.accepted
+        assert any(note.startswith("aborted after")
+                   for note in aborted.notes)
+
+
+def test_batched_abort_composes_with_replay_batch_size():
+    """With both a batch size and an abort policy, the burst replayer
+    yields at batch boundaries and the policy still kills the flooder
+    (previously abort forced per-packet replay)."""
+    scenario = build_scenario("Q1")
+    flooder = RepairCandidate(edits=(DeleteRule("r1"),), cost=3.0,
+                              description="delete r1 (floods controller)")
+    fix = scenario_candidates("Q1")[0]
+    policy = EarlyAbortPolicy(check_every=8, min_fraction=0.1)
+    total = len(scenario.trace())
+    batch = 16
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold,
+                            max_packet_in_growth=1.5, abort_policy=policy,
+                            replay_batch_size=batch)
+    report = backtester.evaluate_all([flooder, fix])
+    aborted, accepted = report.results
+    assert not aborted.accepted and not aborted.effective
+    assert any(note.startswith("aborted after") for note in aborted.notes)
+    assert aborted.stats.total < total
+    # The replay only pauses at burst boundaries.
+    assert aborted.stats.total % batch == 0
+    assert accepted.accepted
+    # The surviving candidate's full replay matches the unbatched verdicts.
+    reference = Backtester(scenario, ks_threshold=scenario.ks_threshold,
+                           warm_engine=False).evaluate_all([fix])
+    assert accepted.accepted == reference.results[0].accepted
+
+
+def test_warm_state_reuses_one_engine(scenarios):
+    scenario = scenarios["Q3"]
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold)
+    backtester.evaluate_all(scenario_candidates("Q3"))
+    first_engine = backtester._warm_state.engine
+    backtester.evaluate_all(scenario_candidates("Q3"))
+    assert backtester._warm_state.engine is first_engine

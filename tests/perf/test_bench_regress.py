@@ -79,6 +79,33 @@ def test_engine_smoke_within_tolerance(smoke_reference, workload, runner,
 
 
 @pytest.mark.bench_regress
+def test_warm_setup_smoke_within_tolerance(smoke_reference):
+    """The warm candidate-switch path must stay much cheaper than a cold
+    rebuild, and not rot against the recorded reference."""
+    from bench_baseline import _smoke_warm_vs_cold
+    recorded = smoke_reference.get("warm_vs_cold")
+    if recorded is None:
+        pytest.skip("BENCH_baseline.json predates the warm_vs_cold row; "
+                    "refresh it with benchmarks/bench_baseline.py")
+    fresh = _smoke_warm_vs_cold()
+    assert fresh["candidates"] == recorded["candidates"], \
+        "smoke warm workload drifted; refresh BENCH_baseline.json"
+    assert fresh["warm_fallbacks"] == recorded["warm_fallbacks"]
+    allowed = _allowed(recorded["warm_setup_seconds"])
+    assert fresh["warm_setup_seconds"] <= allowed, (
+        f"warm candidate switch took {fresh['warm_setup_seconds']:.4f}s, "
+        f"allowed {allowed:.4f}s (recorded "
+        f"{recorded['warm_setup_seconds']:.4f}s) — did the warm path start "
+        f"rebuilding engines? refresh BENCH_baseline.json if intentional")
+    # A structural property, not a timing: warm switching must beat the
+    # cold rebuild it replaces (generous floor; the recorded full-size
+    # speedup is >2x).
+    assert fresh["per_candidate_speedup"] >= 1.3, (
+        f"warm setup is only {fresh['per_candidate_speedup']:.2f}x the cold "
+        f"rebuild — the warm path has rotted")
+
+
+@pytest.mark.bench_regress
 def test_backtest_smoke_within_tolerance(smoke_reference):
     from bench_baseline import _smoke_candidates
     recorded = smoke_reference["fig9b_sequential"]
