@@ -1,38 +1,48 @@
 #!/usr/bin/env python3
-"""Scenario Q3: repairing a stale firewall white-list.
+"""Scenario Q3: repairing a stale firewall white-list, stage by stage.
 
 A load-balancing app offloaded some clients onto a route whose firewall
 white-list was never updated; the offloaded client's HTTP requests are
-silently dropped.  This example shows the intermediate artefacts in more
-detail than the quickstart: the meta provenance tree behind the chosen
-repair, the constraint pool statistics, and why the overly permissive
-candidates (which would also admit a blocked source) are rejected.
+silently dropped.  This example drives the pipeline one stage at a time
+(``session.run(until=...)``) to show the intermediate artefacts the
+monolithic call used to hide: the exploration statistics after Generate,
+the meta provenance tree behind the chosen repair, and why the overly
+permissive candidates (which would also admit a blocked source) are
+rejected at Backtest.
 
 Run with::
 
     python examples/firewall_policy_update.py
 """
 
+from repro.api import RepairConfig, RepairSession
 from repro.backtest import format_table
-from repro.debugger import MetaProvenanceDebugger
-from repro.scenarios import build_q3
 
 
 def main():
-    scenario = build_q3()
+    config = RepairConfig.for_scenario("Q3", max_candidates=14)
+    session = RepairSession(config)
+    scenario = session.scenario
     print(f"Scenario: {scenario.description}")
     print(f"Symptom:  {scenario.symptom.description}\n")
     print("Firewall program:")
     print(scenario.program.to_ndlog())
 
-    report = MetaProvenanceDebugger(scenario, max_candidates=14).diagnose()
-
-    print("Exploration statistics:")
-    stats = report.exploration.stats
+    # Stage 1+2: history lookups, then candidate extraction.  The session
+    # stops after `generate`; the artifacts are inspectable and the later
+    # stages have not paid their cost yet.
+    session.run(until="generate")
+    exploration = session.artifacts["exploration"]
+    print("Exploration statistics (after the `generate` stage):")
+    stats = exploration.stats
     print(f"  work items processed : {stats.work_items_processed}")
     print(f"  history lookups      : {stats.history_lookups}")
     print(f"  solver invocations   : {stats.solver_invocations}")
     print(f"  candidates generated : {stats.candidates_generated}\n")
+
+    # Stages 3+4: resume exactly where the session stopped — `diagnose`
+    # and `generate` are not recomputed.
+    report = session.run()
 
     print("Backtest results (Table 6b of the paper):")
     print(format_table(report.backtest.results))

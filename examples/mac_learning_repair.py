@@ -1,29 +1,48 @@
 #!/usr/bin/env python3
-"""Scenario Q5: repairing a broken learning switch.
+"""Scenario Q5: repairing a broken learning switch, with live events.
 
 The learning rule stores a wildcard instead of the packet's source address,
 so the controller never learns where H2 lives and traffic towards it is
 dropped.  The accepted repair changes the assignment ``Hip := *`` back to
 ``Hip := Sip`` — the same fix the paper's Table 6d highlights.
 
+This example subscribes a renderer to the session's event bus, so every
+extracted candidate and every backtest verdict prints as it happens — the
+same stream ``python -m repro repair q5`` renders, and the same typed
+events a JSONL log or remote monitor would consume.
+
 Run with::
 
     python examples/mac_learning_repair.py
 """
 
+from repro.api import RepairConfig, RepairSession
 from repro.backtest import format_table
-from repro.debugger import MetaProvenanceDebugger
 from repro.repair import apply_candidate
-from repro.scenarios import build_q5
+
+
+def render(event):
+    if event.kind == "candidate_found":
+        print(f"  found {event.index}/{event.total} "
+              f"[cost {event.cost:.1f}] {event.description}")
+    elif event.kind == "backtest_progress":
+        verdict = "PASS" if event.accepted else "FAIL"
+        print(f"  backtest {event.done}/{event.total} {verdict} "
+              f"KS={event.ks_statistic:.4f}")
 
 
 def main():
-    scenario = build_q5()
+    config = RepairConfig.for_scenario("Q5", max_candidates=10)
+    session = RepairSession(config)
+    session.events.subscribe(render)
+
+    scenario = session.scenario
     print("Buggy learning-switch program:")
     print(scenario.program.to_ndlog())
     print(f"Symptom: {scenario.symptom.description}\n")
 
-    report = MetaProvenanceDebugger(scenario, max_candidates=10).diagnose()
+    report = session.run()
+    print()
     print(format_table(report.backtest.results))
     print()
 

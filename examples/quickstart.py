@@ -3,28 +3,43 @@
 
 The scenario is Figure 1/2 of the paper: a copy-and-paste bug in the
 load-balancer program prevents the backup web server H2 from receiving any
-HTTP requests.  The debugger builds meta provenance for the missing flow
-entry, extracts repair candidates in cost order, backtests them against the
-recorded traffic, and prints the surviving suggestions.
+HTTP requests.  A :class:`repro.api.RepairSession` runs the pipeline —
+Diagnose (build meta provenance inputs), Generate (extract repair
+candidates in cost order), Backtest (replay them against the recorded
+traffic), Rank (order the survivors) — while streaming progress events,
+and prints the surviving suggestions.
+
+Everything the run needs is described by the declarative
+:class:`repro.api.RepairConfig`, which round-trips to JSON: the same
+description drives ``python -m repro repair q1``.
 
 Run with::
 
     python examples/quickstart.py
 """
 
+from repro.api import RepairConfig, RepairSession
 from repro.backtest import format_table
-from repro.debugger import MetaProvenanceDebugger
-from repro.scenarios import build_q1
 
 
 def main():
-    scenario = build_q1()
-    print("Buggy controller program:")
-    print(scenario.program.to_ndlog())
-    print(f"Symptom: {scenario.symptom.description}\n")
+    config = RepairConfig.for_scenario("Q1", max_candidates=14)
+    print("Declarative run description (also usable via "
+          "`python -m repro repair --config`):")
+    print(f"  {config.to_json()}\n")
 
-    debugger = MetaProvenanceDebugger(scenario, max_candidates=14)
-    report = debugger.diagnose()
+    session = RepairSession(config)
+    session.events.subscribe(
+        lambda event: print(f"  [{event.kind}]")
+        if event.kind in ("stage_started",) else None)
+
+    print("Buggy controller program:")
+    print(session.scenario.program.to_ndlog())
+    print(f"Symptom: {session.scenario.symptom.description}\n")
+
+    print("Running the repair pipeline:")
+    report = session.run()
+    print()
 
     print("All backtested candidates (Table 2 of the paper):")
     print(format_table(report.backtest.results))
@@ -33,7 +48,8 @@ def main():
     print()
     best = report.suggestions()[0].candidate
     print(f"Operator's pick: {best.description}")
-    print(f"Reference repair from the paper: {scenario.reference_repair}")
+    print(f"Reference repair from the paper: "
+          f"{session.scenario.reference_repair}")
 
 
 if __name__ == "__main__":

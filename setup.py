@@ -6,6 +6,10 @@ setup(
     packages=find_packages("src"),
     entry_points={
         "console_scripts": [
+            # The unified CLI: repair / backtest / bench / worker /
+            # scenarios list (same surface as `python -m repro`).
+            "repro = repro.cli:main",
+            # Back-compat alias for `repro worker --connect HOST:PORT`.
             "repro-worker = repro.distrib.worker:main",
         ],
     },

@@ -17,22 +17,33 @@ The package provides, from the bottom up:
 * :mod:`repro.controllers` -- NDlog, imperative ("RubyFlow"/Trema) and policy
   DSL (Pyretic) controller front ends with their meta models.
 * :mod:`repro.scenarios` -- the five case studies Q1-Q5 of the evaluation.
-* :mod:`repro.debugger` -- the end-to-end debugger
-  (:class:`~repro.debugger.MetaProvenanceDebugger`).
+* :mod:`repro.distrib` -- the distributed backtest fabric (work-queue
+  scheduling over in-process, spawn and socket transports).
+* :mod:`repro.api` -- the unified repair-pipeline API:
+  :class:`~repro.api.RepairSession` (staged Diagnose → Generate →
+  Backtest → Rank pipeline), the declarative
+  :class:`~repro.api.RepairConfig`, and the streaming event bus of
+  :mod:`repro.events`.
 
 Quickstart::
 
-    from repro.scenarios import build_q1
-    from repro.debugger import MetaProvenanceDebugger
+    from repro.api import RepairConfig, RepairSession
 
-    scenario = build_q1()
-    report = MetaProvenanceDebugger(scenario).diagnose()
+    config = RepairConfig.for_scenario("Q1", max_candidates=14)
+    report = RepairSession(config).run()
     print(report.summary())
+
+Or from a shell: ``python -m repro repair q1`` (see ``python -m repro
+--help``).  The legacy one-call :class:`MetaProvenanceDebugger` remains
+importable but is deprecated.
 """
 
-from .debugger import DiagnosisReport, MetaProvenanceDebugger, PhaseTimings
+from .api import (DiagnosisReport, EventBus, PhaseTimings, RepairConfig,
+                  RepairSession, SessionEvent, repair)
+from .debugger import MetaProvenanceDebugger
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["DiagnosisReport", "MetaProvenanceDebugger", "PhaseTimings",
-           "__version__"]
+__all__ = ["DiagnosisReport", "EventBus", "MetaProvenanceDebugger",
+           "PhaseTimings", "RepairConfig", "RepairSession", "SessionEvent",
+           "repair", "__version__"]

@@ -1,0 +1,42 @@
+"""The unified repair-pipeline API.
+
+One import point for the redesigned end-to-end surface:
+
+* :class:`RepairConfig` — every knob of a repair run in one declarative,
+  JSON-round-trippable dataclass (:mod:`repro.api.config`);
+* :class:`RepairSession` — the facade composing the pipeline stages
+  Diagnose → Generate → Backtest → Rank with resumable artifacts
+  (:mod:`repro.api.session`, :mod:`repro.api.stages`);
+* the streaming event surface — :class:`EventBus` and the
+  :class:`SessionEvent` hierarchy (re-exported from :mod:`repro.events`);
+* :func:`repair` — the one-call convenience wrapper.
+
+The legacy ``MetaProvenanceDebugger`` remains as a deprecation shim over
+this API; new code should start here::
+
+    from repro.api import RepairConfig, RepairSession
+
+    config = RepairConfig.for_scenario("Q1", max_candidates=14)
+    session = RepairSession(config)
+    report = session.run()
+"""
+
+from ..events import (BacktestProgress, CandidateAborted, CandidateFound,
+                      EventBus, JsonlEventWriter, SessionEvent,
+                      SessionFinished, SessionStarted, StageFinished,
+                      StageStarted, WarmEngineStats, event_from_wire,
+                      progress_to_events)
+from .config import ConfigError, RepairConfig
+from .session import DiagnosisReport, PhaseTimings, RepairSession, repair
+from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
+                     GenerateStage, RankStage, Stage, StageError)
+
+__all__ = [
+    "BacktestProgress", "BacktestStage", "CandidateAborted", "CandidateFound",
+    "ConfigError", "DEFAULT_STAGES", "DiagnoseStage", "DiagnosisReport",
+    "EventBus", "GenerateStage", "JsonlEventWriter", "PhaseTimings",
+    "RankStage", "RepairConfig", "RepairSession", "SessionEvent",
+    "SessionFinished", "SessionStarted", "Stage", "StageError",
+    "StageFinished", "StageStarted", "WarmEngineStats", "event_from_wire",
+    "progress_to_events", "repair",
+]

@@ -1,0 +1,204 @@
+"""Declarative configuration for a full repair run.
+
+:class:`RepairConfig` absorbs every knob that used to be scattered across
+constructors — the debugger's candidate budget and cost model, the
+backtesters' ``workers``/``replay_batch_size``/``warm_engine``/KS
+acceptance parameters, the scheduler's transport choice and the early-abort
+policy — into one dataclass that round-trips to JSON alongside
+:class:`~repro.scenarios.spec.ScenarioSpec`.  A serialized config plus its
+scenario spec is therefore a complete, wire-shippable description of a
+repair run: the same object can configure an in-process session, be saved
+as a file for ``python -m repro repair --config``, or be dispatched to a
+remote coordinator.
+
+The config is *declarative*: it holds names and numbers, never live
+objects.  Factory methods (:meth:`RepairConfig.build_scenario`,
+:meth:`cost_model`, :meth:`make_backtester`, :meth:`make_scheduler`)
+construct the runtime pieces, so construction logic lives in one place
+instead of being hand-wired at every call site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
+
+from ..backtest.abort import EarlyAbortPolicy
+from ..meta.costs import CostModel
+from ..scenarios.spec import ScenarioSpec
+
+
+class ConfigError(ValueError):
+    """Raised for malformed or inconsistent repair configurations."""
+
+
+@dataclass
+class RepairConfig:
+    """Every knob of the Diagnose → Generate → Backtest → Rank pipeline."""
+
+    #: The scenario to repair, as a spawn-safe declarative handle.  May be
+    #: ``None`` when the session is given a live scenario object directly
+    #: (then the config is not fully serializable).
+    scenario: Optional[ScenarioSpec] = None
+
+    # -- Generate: candidate exploration --------------------------------
+    #: Stop exploring once this many candidates were extracted.
+    max_candidates: int = 20
+    #: Per-edit-kind cost overrides (merged over the paper's defaults).
+    cost_overrides: Dict[str, float] = field(default_factory=dict)
+    #: Candidate cost cutoff; ``None`` keeps the cost model's default.
+    cost_cutoff: Optional[float] = None
+    #: Surcharge for far-away constant changes; ``None`` keeps the default.
+    far_constant_surcharge: Optional[float] = None
+    #: Per-vertex expansion cost; ``None`` keeps the default.
+    expansion_cost: Optional[float] = None
+
+    # -- Backtest: replay and acceptance --------------------------------
+    #: Use the multi-query (shared-trunk) backtester of Section 4.4.
+    multiquery: bool = False
+    #: KS acceptance threshold; ``None`` uses the scenario's own default.
+    ks_threshold: Optional[float] = None
+    #: Significance level when ``use_significance`` is on.
+    alpha: float = 0.05
+    #: Accept by KS significance test instead of the fixed threshold.
+    use_significance: bool = False
+    #: Replay only this many trace packets (``None`` = whole trace).
+    trace_limit: Optional[int] = None
+    #: Reject repairs multiplying controller PacketIn load by more than this.
+    max_packet_in_growth: Optional[float] = None
+    #: Replay the trace in bursts of this size where statically safe.
+    replay_batch_size: Optional[int] = None
+    #: Switch candidates on a warm engine (checkpoint restore + rule delta).
+    warm_engine: bool = True
+    #: Optional mid-trace kill switch for hopeless candidates.
+    abort: Optional[EarlyAbortPolicy] = None
+
+    # -- Scheduling: where candidate evaluations run --------------------
+    #: Worker count for candidate evaluation (1 = serial).
+    workers: int = 1
+    #: Distributed-fabric transport name (``"inprocess"``, ``"spawn"``,
+    #: ``"socket"``); ``None`` uses the local path (fork pool when
+    #: ``workers > 1`` and the platform has fork).
+    transport: Optional[str] = None
+    #: Extra keyword arguments for the transport (e.g. socket ``port``).
+    transport_options: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_scenario(cls, name: str, params: Optional[Dict[str, object]] = None,
+                     **knobs) -> "RepairConfig":
+        """Config for a registered scenario: ``RepairConfig.for_scenario("Q1")``."""
+        return cls(scenario=ScenarioSpec.create(name, params=params), **knobs)
+
+    def with_updates(self, **knobs) -> "RepairConfig":
+        """A copy with some knobs replaced (configs are cheap values)."""
+        return replace(self, **knobs)
+
+    # ------------------------------------------------------------------
+    # Factories: the one place runtime pieces are wired from knobs
+    # ------------------------------------------------------------------
+
+    def build_scenario(self):
+        if self.scenario is None:
+            raise ConfigError("config has no ScenarioSpec; pass a scenario "
+                              "object to RepairSession or set config.scenario")
+        return self.scenario.build()
+
+    def cost_model(self) -> CostModel:
+        model = CostModel()
+        if self.cost_overrides:
+            model.costs.update(self.cost_overrides)
+        if self.cost_cutoff is not None:
+            model.cutoff = self.cost_cutoff
+        if self.far_constant_surcharge is not None:
+            model.far_constant_surcharge = self.far_constant_surcharge
+        if self.expansion_cost is not None:
+            model.expansion_cost = self.expansion_cost
+        return model
+
+    def resolve_ks_threshold(self, scenario) -> float:
+        if self.ks_threshold is not None:
+            return self.ks_threshold
+        return getattr(scenario, "ks_threshold", 0.05)
+
+    def make_backtester(self, scenario):
+        """The configured backtester (class choice + every replay knob)."""
+        from ..backtest.multiquery import MultiQueryBacktester
+        from ..backtest.replay import Backtester
+        backtester_class = MultiQueryBacktester if self.multiquery else Backtester
+        return backtester_class(
+            scenario,
+            ks_threshold=self.resolve_ks_threshold(scenario),
+            alpha=self.alpha,
+            use_significance=self.use_significance,
+            trace_limit=self.trace_limit,
+            max_packet_in_growth=self.max_packet_in_growth,
+            workers=self.workers,
+            replay_batch_size=self.replay_batch_size,
+            abort_policy=self.abort,
+            warm_engine=self.warm_engine)
+
+    def make_scheduler(self, progress=None, events=None):
+        """The configured distributed scheduler, or ``None`` for local runs.
+
+        This is the single construction path from declarative knobs to a
+        :class:`repro.distrib.Scheduler` — call sites no longer hand-wire
+        transports, worker counts and abort policies.
+        """
+        if self.transport is None:
+            return None
+        from ..distrib.coordinator import Scheduler
+        return Scheduler.from_config(self, progress=progress, events=events)
+
+    # ------------------------------------------------------------------
+    # Wire format (rides alongside ScenarioSpec / candidate wires)
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        wire: Dict[str, object] = {}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            if config_field.name == "scenario":
+                value = value.to_wire() if value is not None else None
+            elif config_field.name == "abort":
+                value = value.to_wire() if value is not None else None
+            wire[config_field.name] = value
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "RepairConfig":
+        data = dict(wire)
+        known = {config_field.name for config_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        if data.get("scenario") is not None:
+            data["scenario"] = ScenarioSpec.from_wire(data["scenario"])
+        if data.get("abort") is not None:
+            data["abort"] = EarlyAbortPolicy.from_wire(data["abort"])
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"malformed repair config: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RepairConfig":
+        try:
+            wire = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"config is not valid JSON: {exc}") from exc
+        if not isinstance(wire, dict):
+            raise ConfigError("config JSON must be an object")
+        return cls.from_wire(wire)
+
+    @classmethod
+    def from_file(cls, path) -> "RepairConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

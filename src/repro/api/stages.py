@@ -1,0 +1,136 @@
+"""The pipeline stages: Diagnose → Generate → Backtest → Rank.
+
+Each :class:`Stage` is a small, pluggable unit with declared inputs
+(:attr:`Stage.requires`) and one named output (:attr:`Stage.provides`).
+Stages read and write the session's artifact store, so intermediate
+results — the history index, the exploration, the backtest report — are
+first-class: a session can stop after any stage, be inspected, and resume
+where it left off; a custom pipeline can replace any stage (the policy-DSL
+example substitutes its own Generate/Backtest stages while keeping the
+session shell, event stream and CLI rendering).
+
+The four standard stages reproduce exactly the legacy
+``MetaProvenanceDebugger.diagnose()`` pipeline, phase timings included:
+
+* :class:`DiagnoseStage` — replay the recorded trace under the buggy
+  program and index the historical base tuples (``history_lookups``).
+* :class:`GenerateStage` — explore the meta provenance forest and extract
+  repair candidates in cost order (``constraint_solving`` +
+  ``patch_generation``).
+* :class:`BacktestStage` — evaluate every candidate against the recorded
+  traffic, locally or through the distributed fabric (``replay``).
+* :class:`RankStage` — order the survivors by complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..backtest.ranking import rank_results
+from ..events import CandidateFound, WarmEngineStats, progress_to_events
+from ..meta.explorer import MetaProvenanceExplorer
+
+
+class StageError(RuntimeError):
+    """Raised when a stage cannot run (missing inputs, bad wiring)."""
+
+
+class Stage:
+    """One pluggable pipeline step.
+
+    Subclasses set :attr:`name` (the event-stream / CLI label),
+    :attr:`provides` (the artifact key they fill) and :attr:`requires`
+    (artifact keys that must exist before :meth:`run`), and implement
+    :meth:`run`, returning the artifact value.
+    """
+
+    name: str = "stage"
+    provides: str = "artifact"
+    requires: Tuple[str, ...] = ()
+
+    def run(self, session):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class DiagnoseStage(Stage):
+    """Build the history index for the scenario's recorded trace."""
+
+    name = "diagnose"
+    provides = "history"
+
+    def run(self, session):
+        scenario = session.scenario
+        return scenario.history_index(trace_limit=session.config.trace_limit)
+
+
+class GenerateStage(Stage):
+    """Explore meta provenance and extract candidates in cost order."""
+
+    name = "generate"
+    provides = "exploration"
+    requires = ("history",)
+
+    def run(self, session):
+        scenario = session.scenario
+        explorer = MetaProvenanceExplorer(
+            scenario.program, session.artifacts["history"],
+            cost_model=session.cost_model,
+            max_candidates=session.config.max_candidates)
+        exploration = explorer.explore_missing(scenario.goal())
+        total = len(exploration.candidates)
+        for index, candidate in enumerate(exploration.candidates, 1):
+            session.events.emit(CandidateFound(
+                index=index, total=total, tag=candidate.tag,
+                description=candidate.description, cost=candidate.cost))
+        return exploration
+
+
+class BacktestStage(Stage):
+    """Replay every candidate against the recorded traffic."""
+
+    name = "backtest"
+    provides = "backtest"
+    requires = ("exploration",)
+
+    def run(self, session):
+        config = session.config
+        backtester = config.make_backtester(session.scenario)
+        session.backtester = backtester
+        candidates = session.artifacts["exploration"].candidates
+        scheduler = config.make_scheduler(events=session.events)
+        try:
+            if scheduler is not None:
+                # The coordinator publishes BacktestProgress itself.
+                report = backtester.evaluate_all(candidates,
+                                                 scheduler=scheduler)
+            else:
+                report = backtester.evaluate_all(
+                    candidates, progress=progress_to_events(session.events))
+        finally:
+            if scheduler is not None:
+                scheduler.close()
+        if backtester.warm_hits or backtester.warm_fallbacks:
+            session.events.emit(WarmEngineStats(
+                hits=backtester.warm_hits,
+                fallbacks=backtester.warm_fallbacks))
+        return report
+
+
+class RankStage(Stage):
+    """Order accepted repairs by complexity (what the operator sees)."""
+
+    name = "rank"
+    provides = "suggestions"
+    requires = ("backtest",)
+
+    def run(self, session):
+        return rank_results(session.artifacts["backtest"].results,
+                            accepted_only=True)
+
+
+#: The standard pipeline, in order.
+DEFAULT_STAGES: Tuple[Stage, ...] = (
+    DiagnoseStage(), GenerateStage(), BacktestStage(), RankStage())

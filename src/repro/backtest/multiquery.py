@@ -357,10 +357,11 @@ class MultiQueryBacktester(Backtester):
 
     def evaluate_all(self, candidates: Sequence[RepairCandidate],
                      workers: Optional[int] = None,
-                     scheduler=None) -> MultiQueryReport:
+                     scheduler=None, progress=None) -> MultiQueryReport:
         started = _time.perf_counter()
         report = MultiQueryReport(baseline=self.baseline())
-        outcomes = self._run_candidates(list(candidates), workers, scheduler)
+        outcomes = self._run_candidates(list(candidates), workers, scheduler,
+                                        progress=progress)
         for outcome in outcomes:
             report.results.append(outcome.result)
             report.shared_evaluations += outcome.shared_evaluations

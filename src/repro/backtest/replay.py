@@ -410,7 +410,7 @@ class Backtester:
 
     def _run_candidates(self, candidates: List[RepairCandidate],
                         workers: Optional[int],
-                        scheduler) -> List[ShardOutcome]:
+                        scheduler, progress=None) -> List[ShardOutcome]:
         """Evaluate candidates via the requested execution path.
 
         ``scheduler`` (a :class:`repro.distrib.Scheduler`) routes through
@@ -420,29 +420,47 @@ class Backtester:
         scenario's :class:`ScenarioSpec` makes workers reconstructible)
         rather than silently running serial.  All paths return bit-identical
         outcomes in input order.
+
+        ``progress(done, total, result)`` streams completed results on the
+        serial and scheduler paths; the fork pool blocks until all shards
+        return, so there it reports the finished outcomes in input order.
         """
         if scheduler is not None:
-            return scheduler.run(self, candidates)
+            if progress is None:      # keep duck-typed scheduler stubs happy
+                return scheduler.run(self, candidates)
+            return scheduler.run(self, candidates, progress=progress)
         workers = self._use_workers(candidates, workers)
         if workers > 1:
             if fork_available():
                 trunk = self._build_trunk()
-                return _run_sharded(self, candidates, trunk, workers)
+                outcomes = _run_sharded(self, candidates, trunk, workers)
+                if progress is not None:
+                    for done, outcome in enumerate(outcomes, 1):
+                        progress(done, len(outcomes), outcome.result)
+                return outcomes
             if getattr(self.scenario, "spec", None) is not None:
                 from ..distrib import Scheduler
                 with Scheduler(transport="spawn", workers=workers) as degraded:
-                    return degraded.run(self, candidates)
+                    if progress is None:
+                        return degraded.run(self, candidates)
+                    return degraded.run(self, candidates, progress=progress)
         trunk = self._build_trunk()
-        return [self._evaluate_for_shard(candidate, trunk)
-                for candidate in candidates]
+        outcomes = []
+        for done, candidate in enumerate(candidates, 1):
+            outcome = self._evaluate_for_shard(candidate, trunk)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(done, len(candidates), outcome.result)
+        return outcomes
 
     def evaluate_all(self, candidates: Sequence[RepairCandidate],
                      workers: Optional[int] = None,
-                     scheduler=None) -> BacktestReport:
+                     scheduler=None, progress=None) -> BacktestReport:
         started = _time.perf_counter()
         report = BacktestReport(baseline=self.baseline())
         report.packet_count = len(self._trace())
-        outcomes = self._run_candidates(list(candidates), workers, scheduler)
+        outcomes = self._run_candidates(list(candidates), workers, scheduler,
+                                        progress=progress)
         report.results.extend(outcome.result for outcome in outcomes)
         report.elapsed_seconds = _time.perf_counter() - started
         return report

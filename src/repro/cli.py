@@ -1,0 +1,347 @@
+"""``python -m repro`` — the command-line face of the repair pipeline.
+
+Subcommands (all built on :mod:`repro.api`):
+
+* ``repro repair Q1`` — run the full Diagnose → Generate → Backtest →
+  Rank pipeline and print the surviving repair suggestions.
+* ``repro backtest Q1`` — same pipeline, but print the full candidate
+  verdict table (every backtested candidate with its KS statistic).
+* ``repro bench`` — time the pipeline stages for one scenario a few
+  times over (a CLI-sized slice of the Figure 9a breakdown).
+* ``repro worker --connect HOST:PORT`` — join a socket coordinator as a
+  remote backtest worker (alias of the ``repro-worker`` entry point).
+* ``repro scenarios list`` — the registered scenario catalogue.
+
+Every run-shaped command accepts ``--config FILE`` (a JSON
+:class:`~repro.api.RepairConfig`) plus per-knob overrides, streams live
+progress from the session event bus to stderr (``--quiet`` silences it),
+writes machine-readable event logs with ``--events FILE``, and with
+``--json`` prints the final report as JSON on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .api import (EventBus, JsonlEventWriter, RepairConfig, RepairSession,
+                  SessionEvent)
+from .backtest.abort import EarlyAbortPolicy
+from .backtest.ranking import format_table
+from .scenarios import SCENARIO_BUILDERS, build_scenario
+
+
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
+    """Options mirroring RepairConfig knobs (None = keep config default)."""
+    run = parser.add_argument_group("pipeline configuration")
+    run.add_argument("--config", metavar="FILE",
+                     help="JSON RepairConfig to start from "
+                          "(CLI flags override it)")
+    run.add_argument("--max-candidates", type=int, metavar="N",
+                     help="candidate budget for the explorer")
+    multiquery = run.add_mutually_exclusive_group()
+    multiquery.add_argument("--multiquery", action="store_true", default=None,
+                            help="use the multi-query (shared-trunk) "
+                                 "backtester")
+    multiquery.add_argument("--no-multiquery", dest="multiquery",
+                            action="store_false",
+                            help="force the sequential backtester")
+    run.add_argument("--trace-limit", type=int, metavar="N",
+                     help="replay only the first N trace packets")
+    run.add_argument("--ks-threshold", type=float, metavar="X",
+                     help="KS acceptance threshold (default: scenario's)")
+    run.add_argument("--max-packet-in-growth", type=float, metavar="X",
+                     help="reject repairs growing PacketIn load beyond X×")
+    run.add_argument("--batch-size", type=int, metavar="N", dest="batch_size",
+                     help="replay the trace in bursts of N packets")
+    warm = run.add_mutually_exclusive_group()
+    warm.add_argument("--cold", dest="warm", action="store_false",
+                      default=None,
+                      help="disable warm-engine candidate switching")
+    warm.add_argument("--warm", dest="warm", action="store_true",
+                      help="force warm-engine candidate switching")
+    sched = parser.add_argument_group("scheduling")
+    sched.add_argument("--workers", type=int, metavar="N",
+                       help="worker count for candidate evaluation")
+    sched.add_argument("--transport", choices=["inprocess", "spawn", "socket"],
+                       help="evaluate candidates through the distributed "
+                            "fabric instead of the local path")
+    sched.add_argument("--port", type=int,
+                       help="listen port for --transport socket")
+    sched.add_argument("--abort-check-every", type=int, metavar="N",
+                       help="enable early abort, checking every N packets")
+    sched.add_argument("--abort-ks-slack", type=float, metavar="X",
+                       help="slack multiplier for the heuristic KS abort")
+    out = parser.add_argument_group("output")
+    out.add_argument("--json", action="store_true",
+                     help="print the final report as JSON on stdout")
+    out.add_argument("--events", metavar="FILE",
+                     help="append the session event stream to FILE as JSONL")
+    out.add_argument("--quiet", action="store_true",
+                     help="no live progress on stderr")
+
+
+def _config_from_args(args, require_scenario: bool = True) -> RepairConfig:
+    """Start from --config (or defaults) and fold in the CLI overrides.
+
+    The scenario may come from either side: an explicit name on the
+    command line wins, otherwise the --config file's ``scenario`` drives
+    the run.
+    """
+    config = (RepairConfig.from_file(args.config) if args.config
+              else RepairConfig())
+    updates = {}
+    if getattr(args, "scenario", None):
+        from .scenarios.spec import ScenarioSpec
+        updates["scenario"] = ScenarioSpec.create(args.scenario)
+    elif require_scenario and config.scenario is None:
+        print("repro: no scenario specified (name one on the command line "
+              "or in the --config file)", file=sys.stderr)
+        raise SystemExit(2)
+    if args.max_candidates is not None:
+        updates["max_candidates"] = args.max_candidates
+    if args.multiquery is not None:
+        updates["multiquery"] = args.multiquery
+    if args.trace_limit is not None:
+        updates["trace_limit"] = args.trace_limit
+    if args.ks_threshold is not None:
+        updates["ks_threshold"] = args.ks_threshold
+    if args.max_packet_in_growth is not None:
+        updates["max_packet_in_growth"] = args.max_packet_in_growth
+    if args.batch_size is not None:
+        updates["replay_batch_size"] = args.batch_size
+    if args.warm is not None:
+        updates["warm_engine"] = args.warm
+    if args.workers is not None:
+        updates["workers"] = args.workers
+    if args.transport is not None:
+        updates["transport"] = args.transport
+    if args.port is not None:
+        updates["transport_options"] = dict(config.transport_options,
+                                            port=args.port)
+    if args.abort_check_every is not None or args.abort_ks_slack is not None:
+        base = config.abort or EarlyAbortPolicy()
+        updates["abort"] = EarlyAbortPolicy(
+            check_every=(args.abort_check_every
+                         if args.abort_check_every is not None
+                         else base.check_every),
+            max_packet_in_growth=base.max_packet_in_growth,
+            ks_slack=(args.abort_ks_slack if args.abort_ks_slack is not None
+                      else base.ks_slack),
+            min_fraction=base.min_fraction)
+    return config.with_updates(**updates) if updates else config
+
+
+class _LiveRenderer:
+    """Event-bus subscriber printing one progress line per event."""
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def __call__(self, event: SessionEvent) -> None:
+        line = self._format(event)
+        if line is not None:
+            print(line, file=self.stream, flush=True)
+
+    def _format(self, event: SessionEvent) -> Optional[str]:
+        kind = event.kind
+        if kind == "session_started":
+            return (f"== {event.scenario}: {event.symptom}\n"
+                    f"   stages: {' -> '.join(event.stages)}")
+        if kind == "stage_started":
+            return f"-- {event.stage} ..."
+        if kind == "stage_finished":
+            return f"-- {event.stage} done in {event.elapsed_seconds:.2f}s"
+        if kind == "candidate_found":
+            return (f"   candidate {event.index}/{event.total} "
+                    f"[cost {event.cost:.1f}] {event.description}")
+        if kind == "backtest_progress":
+            verdict = "PASS" if event.accepted else "FAIL"
+            return (f"   backtest {event.done}/{event.total} {verdict} "
+                    f"KS={event.ks_statistic:.4f} {event.description}")
+        if kind == "candidate_aborted":
+            return f"   aborted: {event.description} ({event.note})"
+        if kind == "warm_engine_stats":
+            return (f"   warm engine: {event.hits} hits, "
+                    f"{event.fallbacks} cold fallbacks")
+        if kind == "session_finished":
+            return (f"== {event.scenario}: {event.generated} candidates, "
+                    f"{event.surviving} survived "
+                    f"({event.elapsed_seconds:.2f}s)")
+        return None
+
+
+def _run_session(args) -> "tuple":
+    """Build the configured session from CLI args and run it."""
+    config = _config_from_args(args)
+    events = EventBus()
+    log_handle = None
+    if args.events:
+        log_handle = open(args.events, "a", encoding="utf-8")
+        events.subscribe(JsonlEventWriter(log_handle))
+    if not args.quiet:
+        events.subscribe(_LiveRenderer(sys.stderr))
+    session = RepairSession(config, events=events)
+    try:
+        report = session.run()
+    finally:
+        if log_handle is not None:
+            log_handle.close()
+    return session, report
+
+
+def _cmd_repair(args) -> int:
+    session, report = _run_session(args)
+    suggestions = report.suggestions()
+    if args.json:
+        print(json.dumps(report.to_wire(), indent=2, sort_keys=True))
+        return 0 if suggestions else 2
+    print(report.summary())
+    if not suggestions:
+        print("no repair survived backtesting", file=sys.stderr)
+        return 2
+    best = suggestions[0].candidate
+    print(f"\nOperator's pick: {best.description}")
+    reference = getattr(session.scenario, "reference_repair", None)
+    if reference:
+        print(f"Reference repair from the paper: {reference}")
+    return 0
+
+
+def _cmd_backtest(args) -> int:
+    _, report = _run_session(args)
+    if args.json:
+        print(json.dumps(report.to_wire(), indent=2, sort_keys=True))
+        return 0
+    print(format_table(report.backtest.results))
+    generated, surviving = report.counts()
+    print(f"\n{generated} candidates backtested over "
+          f"{report.backtest.packet_count} packets, {surviving} accepted")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.repeat < 1:
+        print("repro: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    config = _config_from_args(args, require_scenario=False)
+    if config.scenario is None:
+        from .scenarios.spec import ScenarioSpec
+        config = config.with_updates(scenario=ScenarioSpec.create("Q1"))
+    log_handle = (open(args.events, "a", encoding="utf-8") if args.events
+                  else None)
+    rows = []
+    try:
+        for _ in range(args.repeat):
+            events = EventBus(keep_history=False)
+            if log_handle is not None:
+                events.subscribe(JsonlEventWriter(log_handle))
+            if not args.quiet:
+                events.subscribe(_LiveRenderer(sys.stderr))
+            session = RepairSession(config, events=events)
+            session.run()
+            rows.append(dict(session.stage_seconds))
+    finally:
+        if log_handle is not None:
+            log_handle.close()
+    scenario_name = config.scenario.name
+    stages = list(rows[0])
+    if args.json:
+        print(json.dumps({"scenario": scenario_name, "runs": rows},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"pipeline stage timings for {scenario_name} "
+          f"(best of {args.repeat}):")
+    for stage in stages:
+        best = min(row[stage] for row in rows)
+        print(f"  {stage:10s} {best * 1000.0:9.1f} ms")
+    total = min(sum(row.values()) for row in rows)
+    print(f"  {'total':10s} {total * 1000.0:9.1f} ms")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .distrib.worker import main as worker_main
+    return worker_main(["--connect", args.connect])
+
+
+def _cmd_scenarios_list(args) -> int:
+    entries = []
+    for name in sorted(SCENARIO_BUILDERS):
+        scenario = build_scenario(name)
+        entries.append({
+            "name": name,
+            "description": getattr(scenario, "description", ""),
+            "symptom": getattr(getattr(scenario, "symptom", None),
+                               "description", ""),
+            "rules": len(scenario.program.rules),
+            "trace_packets": len(scenario.trace()),
+        })
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    for entry in entries:
+        print(f"{entry['name']:4s} {entry['description']}")
+        print(f"     symptom: {entry['symptom']}")
+        print(f"     {entry['rules']} rules, "
+              f"{entry['trace_packets']} trace packets")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="meta-provenance repair pipeline (NSDI'17 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    repair = sub.add_parser(
+        "repair", help="diagnose a scenario and print repair suggestions")
+    repair.add_argument("scenario", type=str.upper, nargs="?", default=None,
+                        help="registered scenario name (Q1..Q5); optional "
+                             "when --config names one")
+    _add_config_options(repair)
+    repair.set_defaults(func=_cmd_repair)
+
+    backtest = sub.add_parser(
+        "backtest", help="print the full candidate verdict table")
+    backtest.add_argument("scenario", type=str.upper, nargs="?", default=None)
+    _add_config_options(backtest)
+    backtest.set_defaults(func=_cmd_backtest)
+
+    bench = sub.add_parser(
+        "bench", help="time the pipeline stages for one scenario")
+    bench.add_argument("--scenario", type=str.upper, default=None,
+                       help="scenario to time (default: the --config's, "
+                            "else Q1)")
+    bench.add_argument("--repeat", type=int, default=3)
+    _add_config_options(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    worker = sub.add_parser(
+        "worker", help="join a socket coordinator as a backtest worker")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT")
+    worker.set_defaults(func=_cmd_worker)
+
+    scenarios = sub.add_parser("scenarios", help="scenario catalogue")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command",
+                                             required=True)
+    listing = scenarios_sub.add_parser("list",
+                                       help="list registered scenarios")
+    listing.add_argument("--json", action="store_true")
+    listing.set_defaults(func=_cmd_scenarios_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,102 +1,44 @@
-"""The top-level debugger: from a symptom to a ranked list of repairs.
+"""Legacy facade over the unified repair-pipeline API.
 
-:class:`MetaProvenanceDebugger` runs the full pipeline of the paper for one
-scenario:
+.. deprecated::
+    :class:`MetaProvenanceDebugger` predates :mod:`repro.api`; it survives
+    as a thin shim so existing imports keep working, but new code should
+    use :class:`repro.api.RepairSession` with a declarative
+    :class:`repro.api.RepairConfig`::
 
-1. **History lookups** — replay the recorded trace under the buggy program to
-   rebuild controller state and index the historical base tuples.
-2. **Repair generation** — explore the meta provenance forest for the
-   symptom, extracting repair candidates in cost order (the "constraint
-   solving" and "patch generation" phases of Figure 9a).
-3. **Replay / backtesting** — evaluate every candidate against the historical
-   traffic, weed out ineffective or harmful ones, and rank the survivors in
-   complexity order.
+        from repro.api import RepairConfig, RepairSession
 
-The per-phase timings are recorded so the benchmark harness can regenerate
-the Figure 9a/9c/10 breakdowns.
+        config = RepairConfig.for_scenario("Q1", max_candidates=14)
+        report = RepairSession(config).run()
+
+:class:`DiagnosisReport` and :class:`PhaseTimings` now live in
+:mod:`repro.api.session`; they are re-exported here unchanged, so result
+handling code needs no migration.
 """
 
 from __future__ import annotations
 
-import time as _time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import warnings
+from typing import Optional
 
-from ..backtest.multiquery import MultiQueryBacktester
-from ..backtest.ranking import rank_results
-from ..backtest.replay import BacktestReport, BacktestResult, Backtester
+from ..api.config import RepairConfig
+from ..api.session import DiagnosisReport, PhaseTimings, RepairSession
+from ..backtest.replay import Backtester
 from ..meta.costs import CostModel
-from ..meta.explorer import ExplorationResult, MetaProvenanceExplorer
+from ..meta.explorer import ExplorationResult
 from ..meta.history import HistoryIndex
-from ..repair.candidates import RepairCandidate
 
-
-@dataclass
-class PhaseTimings:
-    """Wall-clock seconds per pipeline phase (the Figure 9a breakdown)."""
-
-    history_lookups: float = 0.0
-    constraint_solving: float = 0.0
-    patch_generation: float = 0.0
-    replay: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return (self.history_lookups + self.constraint_solving
-                + self.patch_generation + self.replay)
-
-    def as_dict(self):
-        return {
-            "history_lookups": self.history_lookups,
-            "constraint_solving": self.constraint_solving,
-            "patch_generation": self.patch_generation,
-            "replay": self.replay,
-            "total": self.total,
-        }
-
-
-@dataclass
-class DiagnosisReport:
-    """Everything the debugger produces for one diagnostic query."""
-
-    scenario_name: str
-    symptom: str
-    exploration: ExplorationResult
-    backtest: BacktestReport
-    timings: PhaseTimings
-
-    @property
-    def candidates(self) -> List[RepairCandidate]:
-        return self.exploration.candidates
-
-    def suggestions(self) -> List[BacktestResult]:
-        """Accepted repairs, in complexity order (what the operator sees)."""
-        return rank_results(self.backtest.results, accepted_only=True)
-
-    def counts(self):
-        """(candidates generated, candidates surviving backtest) — Table 1."""
-        return len(self.backtest.results), len(self.suggestions())
-
-    def summary(self) -> str:
-        generated, surviving = self.counts()
-        lines = [
-            f"Scenario {self.scenario_name}: {self.symptom}",
-            f"  generated {generated} repair candidates, "
-            f"{surviving} survived backtesting",
-            f"  turnaround: {self.timings.total:.2f}s "
-            f"(history {self.timings.history_lookups:.2f}s, "
-            f"solving {self.timings.constraint_solving:.2f}s, "
-            f"patches {self.timings.patch_generation:.2f}s, "
-            f"replay {self.timings.replay:.2f}s)",
-        ]
-        for result in self.suggestions():
-            lines.append(f"    suggested: {result.candidate.description} "
-                         f"(KS {result.ks.statistic:.5f})")
-        return "\n".join(lines)
+__all__ = ["DiagnosisReport", "MetaProvenanceDebugger", "PhaseTimings"]
 
 
 class MetaProvenanceDebugger:
-    """Diagnoses a scenario's symptom and suggests backtested repairs."""
+    """Deprecated one-call debugger; delegates to :class:`RepairSession`.
+
+    The constructor signature is unchanged from the pre-API releases; every
+    argument maps onto a :class:`RepairConfig` knob and ``diagnose()``
+    simply runs a fresh session, so reports stay bit-identical to the old
+    monolithic pipeline.
+    """
 
     def __init__(self, scenario, cost_model: Optional[CostModel] = None,
                  max_candidates: int = 20,
@@ -104,6 +46,10 @@ class MetaProvenanceDebugger:
                  trace_limit: Optional[int] = None,
                  max_packet_in_growth: Optional[float] = None,
                  ks_threshold: Optional[float] = None):
+        warnings.warn(
+            "MetaProvenanceDebugger is deprecated; use "
+            "repro.api.RepairSession(RepairConfig) instead",
+            DeprecationWarning, stacklevel=2)
         self.scenario = scenario
         self.cost_model = cost_model or CostModel()
         self.max_candidates = max_candidates
@@ -113,49 +59,40 @@ class MetaProvenanceDebugger:
         self.ks_threshold = (ks_threshold if ks_threshold is not None
                              else scenario.ks_threshold)
 
+    @property
+    def config(self) -> RepairConfig:
+        """The equivalent declarative config, rebuilt from the *current*
+        attributes — pre-API code that mutates e.g. ``max_candidates``
+        between construction and ``diagnose()`` keeps working."""
+        return RepairConfig(
+            scenario=getattr(self.scenario, "spec", None),
+            max_candidates=self.max_candidates,
+            multiquery=self.use_multiquery_backtesting,
+            trace_limit=self.trace_limit,
+            max_packet_in_growth=self.max_packet_in_growth,
+            ks_threshold=self.ks_threshold)
+
+    def _session(self) -> RepairSession:
+        return RepairSession(self.config, scenario=self.scenario,
+                             cost_model=self.cost_model)
+
     # ------------------------------------------------------------------
-    # Pipeline
+    # Legacy pipeline surface (each step now runs one API stage)
     # ------------------------------------------------------------------
 
     def build_history(self) -> HistoryIndex:
-        return self.scenario.history_index(trace_limit=self.trace_limit)
+        session = self._session()
+        session.run(until="diagnose")
+        return session.artifacts["history"]
 
     def generate_candidates(self, history: HistoryIndex) -> ExplorationResult:
-        explorer = MetaProvenanceExplorer(
-            self.scenario.program, history, cost_model=self.cost_model,
-            max_candidates=self.max_candidates)
-        return explorer.explore_missing(self.scenario.goal())
+        session = self._session()
+        session.artifacts["history"] = history
+        session.run(until="generate")
+        return session.artifacts["exploration"]
 
     def backtester(self) -> Backtester:
-        backtester_class = (MultiQueryBacktester if self.use_multiquery_backtesting
-                            else Backtester)
-        return backtester_class(
-            self.scenario, ks_threshold=self.ks_threshold,
-            trace_limit=self.trace_limit,
-            max_packet_in_growth=self.max_packet_in_growth)
+        return self.config.make_backtester(self.scenario)
 
     def diagnose(self) -> DiagnosisReport:
-        timings = PhaseTimings()
-
-        started = _time.perf_counter()
-        history = self.build_history()
-        timings.history_lookups = _time.perf_counter() - started
-
-        started = _time.perf_counter()
-        exploration = self.generate_candidates(history)
-        generation_seconds = _time.perf_counter() - started
-        timings.constraint_solving = min(generation_seconds,
-                                         exploration.stats.solver_seconds)
-        timings.patch_generation = max(0.0, generation_seconds
-                                       - timings.constraint_solving)
-
-        started = _time.perf_counter()
-        backtest = self.backtester().evaluate_all(exploration.candidates)
-        timings.replay = _time.perf_counter() - started
-
-        return DiagnosisReport(
-            scenario_name=self.scenario.name,
-            symptom=self.scenario.symptom.description,
-            exploration=exploration,
-            backtest=backtest,
-            timings=timings)
+        return self._session().run()

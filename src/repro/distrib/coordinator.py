@@ -30,12 +30,16 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from ..backtest.abort import EarlyAbortPolicy
 from ..backtest.replay import Backtester, BacktestResult, ShardOutcome
+from ..events import EventBus, progress_to_events
 from ..repair.candidates import RepairCandidate
 from .jobs import DistribError, build_job_wire
 from .transport import BaseTransport, make_transport
 
 #: ``progress(done, total, result)`` — called in completion order, with the
-#: candidate already re-attached to the result.
+#: candidate already re-attached to the result.  The callback form predates
+#: the unified event stream; new code should pass ``events=`` (an
+#: :class:`repro.events.EventBus`) and consume typed
+#: :class:`~repro.events.BacktestProgress` events instead.
 ProgressCallback = Callable[[int, int, BacktestResult], None]
 
 
@@ -43,13 +47,18 @@ class Coordinator:
     """Runs one backtest job through a transport, preserving input order."""
 
     def __init__(self, transport: BaseTransport,
-                 progress: Optional[ProgressCallback] = None):
+                 progress: Optional[ProgressCallback] = None,
+                 events: Optional[EventBus] = None):
         self.transport = transport
         self.progress = progress
+        self.events = events
+        self._event_progress = (progress_to_events(events)
+                                if events is not None else None)
 
     def run(self, backtester: Backtester,
             candidates: Sequence[RepairCandidate],
-            abort_policy: Optional[EarlyAbortPolicy] = None
+            abort_policy: Optional[EarlyAbortPolicy] = None,
+            progress: Optional[ProgressCallback] = None
             ) -> List[ShardOutcome]:
         candidates = list(candidates)
         if not candidates:
@@ -57,6 +66,8 @@ class Coordinator:
         job_wire = build_job_wire(backtester, candidates,
                                   abort_policy=abort_policy)
         outcomes: List[Optional[ShardOutcome]] = [None] * len(candidates)
+        callbacks = [cb for cb in (self.progress, progress,
+                                   self._event_progress) if cb is not None]
         done = 0
         lock = threading.Lock()   # socket transports deliver from threads
 
@@ -66,8 +77,8 @@ class Coordinator:
                 outcome.result.candidate = candidates[index]
                 outcomes[index] = outcome
                 done += 1
-                if self.progress is not None:
-                    self.progress(done, len(candidates), outcome.result)
+                for callback in callbacks:
+                    callback(done, len(candidates), outcome.result)
 
         self.transport.run_job(job_wire, on_result)
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
@@ -90,6 +101,7 @@ class Scheduler:
                  workers: int = 2,
                  progress: Optional[ProgressCallback] = None,
                  early_abort: Optional[EarlyAbortPolicy] = None,
+                 events: Optional[EventBus] = None,
                  **transport_options):
         if isinstance(transport, BaseTransport):
             if transport_options:
@@ -103,13 +115,35 @@ class Scheduler:
             self._owns_transport = True
         self.workers = workers
         self.early_abort = early_abort
-        self._coordinator = Coordinator(self.transport, progress=progress)
+        self._coordinator = Coordinator(self.transport, progress=progress,
+                                        events=events)
+
+    @classmethod
+    def from_config(cls, config, progress: Optional[ProgressCallback] = None,
+                    events: Optional[EventBus] = None) -> "Scheduler":
+        """Build a scheduler from a :class:`repro.api.RepairConfig`.
+
+        The single construction path from declarative knobs (transport
+        name, worker count, abort policy, transport options) to a live
+        scheduler — call sites hand over the config instead of wiring
+        arguments.  ``config.transport`` of ``None`` maps to ``"spawn"``,
+        the portable default.
+        """
+        return cls(transport=config.transport or "spawn",
+                   workers=config.workers,
+                   progress=progress,
+                   early_abort=config.abort,
+                   events=events,
+                   **dict(config.transport_options))
 
     def run(self, backtester: Backtester,
-            candidates: Sequence[RepairCandidate]) -> List[ShardOutcome]:
+            candidates: Sequence[RepairCandidate],
+            progress: Optional[ProgressCallback] = None
+            ) -> List[ShardOutcome]:
         """Evaluate ``candidates`` for ``backtester`` through the fabric."""
         return self._coordinator.run(backtester, candidates,
-                                     abort_policy=self.early_abort)
+                                     abort_policy=self.early_abort,
+                                     progress=progress)
 
     def close(self) -> None:
         if self._owns_transport:

@@ -1,0 +1,244 @@
+"""The session event stream: one typed bus for the whole repair pipeline.
+
+Earlier PRs grew ad-hoc observation channels — a ``progress=`` callback on
+the distributed coordinator, ``warm_hits`` counters read off backtester
+objects, per-phase timing fields assembled by the debugger.  This module
+unifies them: every stage of a :class:`~repro.api.session.RepairSession`
+publishes typed :class:`SessionEvent` records on an :class:`EventBus`, and
+any number of subscribers consume them — the live CLI renderer, a JSONL
+log file (:class:`JsonlEventWriter`), a test capturing the stream, or a
+dashboard on the other end of a socket.
+
+Events are plain frozen dataclasses with a stable ``kind`` string and a
+:meth:`SessionEvent.to_wire` JSON encoding, so the stream is as
+wire-friendly as the job/candidate/scenario formats of
+:mod:`repro.distrib`: a remote monitor needs nothing but ``json.loads``.
+
+Subscribers must not raise: a broken observer should not kill a repair
+run, so :meth:`EventBus.emit` swallows subscriber exceptions (collecting
+them on :attr:`EventBus.subscriber_errors` for tests and debugging).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, IO, List, Optional, Tuple, Type
+
+#: Registry of event dataclasses by their ``kind`` string (filled by
+#: :func:`register_event`; used by :func:`event_from_wire`).
+EVENT_KINDS: Dict[str, Type["SessionEvent"]] = {}
+
+
+def register_event(cls):
+    """Class decorator: index an event dataclass by its ``kind``."""
+    EVENT_KINDS[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """Base class for everything published on the bus."""
+
+    #: Stable machine-readable discriminator, overridden per subclass.
+    kind = "event"
+
+    def to_wire(self) -> Dict[str, object]:
+        wire = {"kind": self.kind}
+        wire.update(dataclasses.asdict(self))
+        return wire
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, default=str)
+
+
+def event_from_wire(wire: Dict[str, object]) -> SessionEvent:
+    """Rebuild a typed event from its :meth:`SessionEvent.to_wire` dict."""
+    kind = wire.get("kind")
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    fields = {f.name for f in dataclasses.fields(cls)}
+    # JSON has no tuples; sequence fields come back as lists.
+    return cls(**{k: tuple(v) if isinstance(v, list) else v
+                  for k, v in wire.items() if k in fields})
+
+
+# ---------------------------------------------------------------------------
+# The event hierarchy
+# ---------------------------------------------------------------------------
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionStarted(SessionEvent):
+    """A repair session began running its stage pipeline."""
+
+    kind = "session_started"
+    scenario: str = ""
+    symptom: str = ""
+    stages: Tuple[str, ...] = ()
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionFinished(SessionEvent):
+    """The pipeline completed; headline numbers of the final report."""
+
+    kind = "session_finished"
+    scenario: str = ""
+    generated: int = 0
+    surviving: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@register_event
+@dataclass(frozen=True)
+class StageStarted(SessionEvent):
+    kind = "stage_started"
+    stage: str = ""
+
+
+@register_event
+@dataclass(frozen=True)
+class StageFinished(SessionEvent):
+    kind = "stage_finished"
+    stage: str = ""
+    elapsed_seconds: float = 0.0
+
+
+@register_event
+@dataclass(frozen=True)
+class CandidateFound(SessionEvent):
+    """The explorer extracted one repair candidate (in cost order)."""
+
+    kind = "candidate_found"
+    index: int = 0
+    total: int = 0
+    tag: str = ""
+    description: str = ""
+    cost: float = 0.0
+
+
+@register_event
+@dataclass(frozen=True)
+class BacktestProgress(SessionEvent):
+    """One candidate's backtest completed (published in completion order)."""
+
+    kind = "backtest_progress"
+    done: int = 0
+    total: int = 0
+    description: str = ""
+    accepted: bool = False
+    effective: bool = False
+    ks_statistic: float = 0.0
+    aborted: bool = False
+
+
+@register_event
+@dataclass(frozen=True)
+class CandidateAborted(SessionEvent):
+    """The early-abort policy killed a candidate's replay mid-trace."""
+
+    kind = "candidate_aborted"
+    description: str = ""
+    note: str = ""
+
+
+@register_event
+@dataclass(frozen=True)
+class WarmEngineStats(SessionEvent):
+    """Warm-path hit counters after a backtest stage (local paths only)."""
+
+    kind = "warm_engine_stats"
+    hits: int = 0
+    fallbacks: int = 0
+
+
+# ---------------------------------------------------------------------------
+# The bus and stock subscribers
+# ---------------------------------------------------------------------------
+
+Subscriber = Callable[[SessionEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of session events to any number of subscribers.
+
+    Emission never raises on behalf of a subscriber; failures are recorded
+    on :attr:`subscriber_errors` so observability cannot break the run.
+    The bus also keeps an optional bounded :attr:`history` (handy for
+    tests and post-run summaries); once ``history_limit`` is exceeded the
+    *oldest* events are dropped, so the tail — ``session_finished``,
+    warm-engine statistics — survives long runs.  Disable with
+    ``keep_history=False``.
+    """
+
+    def __init__(self, keep_history: bool = True, history_limit: int = 10_000):
+        self._subscribers: List[Subscriber] = []
+        self.keep_history = keep_history
+        self.history_limit = history_limit
+        self.history: "deque[SessionEvent]" = deque(maxlen=history_limit)
+        self.subscriber_errors: List[Tuple[Subscriber, BaseException]] = []
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Register a callable; returns it (usable as a decorator)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.remove(subscriber)
+
+    def emit(self, event: SessionEvent) -> None:
+        if self.keep_history:
+            self.history.append(event)
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception as exc:   # noqa: BLE001 — observers must not kill runs
+                self.subscriber_errors.append((subscriber, exc))
+
+    def of_kind(self, kind: str) -> List[SessionEvent]:
+        """History filter: all recorded events with the given ``kind``."""
+        return [event for event in self.history if event.kind == kind]
+
+
+class JsonlEventWriter:
+    """Subscriber that appends one JSON line per event to a stream."""
+
+    def __init__(self, stream: IO[str], flush: bool = True):
+        self.stream = stream
+        self.flush = flush
+
+    def __call__(self, event: SessionEvent) -> None:
+        self.stream.write(event.to_json() + "\n")
+        if self.flush:
+            self.stream.flush()
+
+
+def progress_to_events(bus: EventBus) -> Callable:
+    """Adapt the legacy ``progress(done, total, result)`` callback shape.
+
+    Returns a callback that republishes each completed backtest result as a
+    :class:`BacktestProgress` event — the bridge by which pre-event-bus
+    call sites (and the distributed coordinator's worker streams) feed the
+    unified stream.
+    """
+
+    def progress(done: int, total: int, result) -> None:
+        note = next((n for n in getattr(result, "notes", ())
+                     if str(n).startswith("aborted")), None)
+        bus.emit(BacktestProgress(
+            done=done, total=total,
+            description=result.candidate.description if result.candidate else "",
+            accepted=result.accepted, effective=result.effective,
+            ks_statistic=result.ks.statistic, aborted=note is not None))
+        if note is not None:
+            bus.emit(CandidateAborted(
+                description=(result.candidate.description
+                             if result.candidate else ""),
+                note=str(note)))
+
+    return progress

@@ -335,6 +335,11 @@ class Engine:
         self._supports: Dict[NDTuple, Set[Tuple[str, Tuple[NDTuple, ...]]]] = {}
         #: Reverse index: tuple -> supports it participates in.
         self._dependents: Dict[NDTuple, Set[Tuple[NDTuple, str, Tuple[NDTuple, ...]]]] = {}
+        #: Per-rule index over the live supports: rule name -> {(head, key)}.
+        #: Kept in lockstep with ``_supports`` so rule retraction
+        #: (:meth:`_retract_rules`) touches only the rule's own supports
+        #: instead of scanning every live support in the database.
+        self._supports_by_rule: Dict[str, Set[Tuple[NDTuple, Tuple[str, Tuple[NDTuple, ...]]]]] = {}
         self._plans_by_body_table: Dict[str, List[Tuple[_RulePlan, int]]] = defaultdict(list)
         self._rule_names: Set[str] = set()
         #: False after a program swap left derived state without supports;
@@ -396,12 +401,15 @@ class Engine:
         if self._supports or self._dependents:
             if self._journal is not None:
                 self._journal.append(("supswap", self._supports,
-                                      self._dependents))
+                                      self._dependents,
+                                      self._supports_by_rule))
                 self._supports = {}
                 self._dependents = {}
+                self._supports_by_rule = {}
             else:
                 self._supports.clear()
                 self._dependents.clear()
+                self._supports_by_rule.clear()
             self._incremental_ready = False
 
     def register_schema(self, schema: TableSchema):
@@ -592,6 +600,7 @@ class Engine:
                     key = (rule_name, body)
                     if key in supports:
                         supports.discard(key)
+                        self._rule_index_discard(head, key)
                         if journal is not None:
                             journal.append(("supdel", head, key))
                     if not supports:
@@ -691,12 +700,16 @@ class Engine:
                         supports.discard(key)
                         if not supports:
                             del self._supports[head]
+                    self._rule_index_discard(head, key)
                 elif kind == "supdel":
                     _, head, key = entry
                     self._supports.setdefault(head, set()).add(key)
+                    self._rule_index_add(head, key)
                 elif kind == "suppop":
                     _, head, old_set = entry
                     self._supports[head] = old_set
+                    for key in old_set:
+                        self._rule_index_add(head, key)
                 elif kind == "depadd":
                     _, member, dep = entry
                     dependents = self._dependents.get(member)
@@ -711,9 +724,10 @@ class Engine:
                     _, member, old_set = entry
                     self._dependents[member] = old_set
                 elif kind == "supswap":
-                    _, old_supports, old_dependents = entry
+                    _, old_supports, old_dependents, old_by_rule = entry
                     self._supports = old_supports
                     self._dependents = old_dependents
+                    self._supports_by_rule = old_by_rule
                 else:           # pragma: no cover — defensive
                     raise EvaluationError(f"unknown journal entry {kind!r}")
         finally:
@@ -787,18 +801,18 @@ class Engine:
         """Retract every derivation currently supported by ``rule_names``.
 
         Mirrors :meth:`remove`'s two DRed phases, with stale-support removal
-        (instead of a base-tuple deletion) as the seed.  The support scan is
-        O(live supports) — bounded by the checkpointed state on the warm
-        path, where it replaces an O(database) recompute per candidate.
+        (instead of a base-tuple deletion) as the seed.  The stale supports
+        come straight from the per-rule index, so finding them is O(the
+        retracted rules' own supports) — programs with large derived state
+        under *other* rules no longer pay a full live-support scan per
+        candidate switch.
         """
         if not rule_names:
             return
         journal = self._journal
         stale: List[Tuple[NDTuple, Tuple[str, Tuple[NDTuple, ...]]]] = []
-        for head, supports in self._supports.items():
-            for key in supports:
-                if key[0] in rule_names:
-                    stale.append((head, key))
+        for name in rule_names:
+            stale.extend(self._supports_by_rule.get(name, ()))
         if not stale:
             return
         seeds: List[NDTuple] = []
@@ -808,6 +822,7 @@ class Engine:
             if supports is None or key not in supports:
                 continue
             supports.discard(key)
+            self._rule_index_discard(head, key)
             if journal is not None:
                 journal.append(("supdel", head, key))
             if not supports:
@@ -854,6 +869,7 @@ class Engine:
                     key = (rule_name, body)
                     if key in supports:
                         supports.discard(key)
+                        self._rule_index_discard(head, key)
                         if journal is not None:
                             journal.append(("supdel", head, key))
                     if not supports:
@@ -904,6 +920,7 @@ class Engine:
                     if key in head_supports:
                         continue
                     head_supports.add(key)
+                    self._rule_index_add(head, key)
                     if journal is not None:
                         journal.append(("supadd", head, key))
                     dep = (head, rule.name, body)
@@ -961,6 +978,7 @@ class Engine:
                         # Exact duplicate firing: nothing new to derive.
                         continue
                     head_supports.add(key)
+                    self._rule_index_add(head, key)
                     if fired is not None:
                         fired.append((head, body))
                     entry = (head, plan.rule.name, body)
@@ -1012,6 +1030,7 @@ class Engine:
                     fresh_support = key not in head_supports
                     if fresh_support:
                         head_supports.add(key)
+                        self._rule_index_add(head, key)
                         entry = (head, plan.rule.name, body)
                         if journal is None:
                             for member in body:
@@ -1032,12 +1051,29 @@ class Engine:
                     elif fresh_support:
                         database.insert(head, derived=True)
 
+    def _rule_index_add(self, head: NDTuple,
+                        key: Tuple[str, Tuple[NDTuple, ...]]) -> None:
+        """Mirror a support addition into the per-rule index."""
+        self._supports_by_rule.setdefault(key[0], set()).add((head, key))
+
+    def _rule_index_discard(self, head: NDTuple,
+                            key: Tuple[str, Tuple[NDTuple, ...]]) -> None:
+        """Mirror a support removal into the per-rule index."""
+        entries = self._supports_by_rule.get(key[0])
+        if entries is not None:
+            entries.discard((head, key))
+            if not entries:
+                del self._supports_by_rule[key[0]]
+
     def _on_evicted(self, tup: NDTuple):
         """A primary-key update evicted ``tup``: forget its supports so the
         same firing can re-derive it once the key is free again."""
         popped = self._supports.pop(tup, None)
-        if popped is not None and self._journal is not None:
-            self._journal.append(("suppop", tup, popped))
+        if popped is not None:
+            for key in popped:
+                self._rule_index_discard(tup, key)
+            if self._journal is not None:
+                self._journal.append(("suppop", tup, popped))
 
     def _in_keyed_table(self, tup: NDTuple) -> bool:
         schema = self.database.schema(tup.table)
@@ -1055,12 +1091,15 @@ class Engine:
         for tup in before:
             self.database.clear_derived_flag(tup)
         if self._journal is not None:
-            self._journal.append(("supswap", self._supports, self._dependents))
+            self._journal.append(("supswap", self._supports, self._dependents,
+                                  self._supports_by_rule))
             self._supports = {}
             self._dependents = {}
+            self._supports_by_rule = {}
         else:
             self._supports.clear()
             self._dependents.clear()
+            self._supports_by_rule.clear()
         self._rederive_fixpoint(list(self.database.base_tuples()))
         self._incremental_ready = True
         disappeared = []

@@ -1,0 +1,124 @@
+"""CLI smoke tests: `python -m repro` subcommands run in-process."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_scenarios_list(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Q1", "Q2", "Q3", "Q4", "Q5"):
+        assert name in out
+
+
+def test_scenarios_list_json(capsys):
+    assert main(["scenarios", "list", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [entry["name"] for entry in entries] == [
+        "Q1", "Q2", "Q3", "Q4", "Q5"]
+    assert all(entry["trace_packets"] > 0 for entry in entries)
+
+
+def test_repair_q1_json(capsys):
+    assert main(["repair", "q1", "--max-candidates", "14", "--json",
+                 "--quiet"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["scenario"] == "Q1"
+    assert report["generated"] == 14
+    assert report["surviving"] >= 1
+    assert report["suggestions"]
+    assert any(result["accepted"] for result in report["results"])
+
+
+def test_repair_renders_live_progress(capsys):
+    assert main(["repair", "q1", "--max-candidates", "4"]) == 0
+    captured = capsys.readouterr()
+    assert "Operator's pick:" in captured.out
+    assert "backtest 4/4" in captured.err     # live renderer on stderr
+
+
+def test_backtest_prints_verdict_table(capsys):
+    assert main(["backtest", "q1", "--max-candidates", "6", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "6 candidates backtested" in out
+    assert "accepted" in out
+
+
+def test_repair_with_config_file_and_events_log(tmp_path, capsys):
+    from repro.api import RepairConfig
+    config_path = tmp_path / "run.json"
+    config_path.write_text(
+        RepairConfig.for_scenario("Q1", max_candidates=5).to_json())
+    events_path = tmp_path / "events.jsonl"
+    assert main(["repair", "q1", "--config", str(config_path),
+                 "--events", str(events_path), "--json", "--quiet"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["generated"] == 5
+    lines = events_path.read_text().splitlines()
+    kinds = [json.loads(line)["kind"] for line in lines]
+    assert kinds[0] == "session_started"
+    assert kinds[-1] == "session_finished"
+    assert "backtest_progress" in kinds
+
+
+def test_bench_reports_stage_timings(capsys):
+    assert main(["bench", "--scenario", "q1", "--repeat", "1",
+                 "--max-candidates", "4"]) == 0
+    out = capsys.readouterr().out
+    for stage in ("diagnose", "generate", "backtest", "rank", "total"):
+        assert stage in out
+
+
+def test_repair_exit_code_when_nothing_survives(capsys):
+    # An impossible KS threshold rejects every candidate.
+    assert main(["repair", "q1", "--max-candidates", "4",
+                 "--ks-threshold", "-1", "--quiet"]) == 2
+    assert "no repair survived" in capsys.readouterr().err
+    # --json signals the same outcome through the exit code.
+    assert main(["repair", "q1", "--max-candidates", "4",
+                 "--ks-threshold", "-1", "--quiet", "--json"]) == 2
+    assert json.loads(capsys.readouterr().out)["surviving"] == 0
+
+
+def test_config_file_can_drive_the_scenario(tmp_path, capsys):
+    from repro.api import RepairConfig
+    config_path = tmp_path / "q2.json"
+    config_path.write_text(
+        RepairConfig.for_scenario("Q2", max_candidates=4).to_json())
+    # No positional scenario: the config's one drives the run.
+    assert main(["repair", "--config", str(config_path), "--json",
+                 "--quiet"]) == 0
+    assert json.loads(capsys.readouterr().out)["scenario"] == "Q2"
+    # bench honours the config's scenario too (no silent Q1 fallback).
+    assert main(["bench", "--config", str(config_path), "--repeat", "1",
+                 "--quiet"]) == 0
+    assert "timings for Q2" in capsys.readouterr().out
+
+
+def test_missing_scenario_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["repair", "--quiet"])
+    assert excinfo.value.code == 2
+    assert "no scenario specified" in capsys.readouterr().err
+
+
+def test_bench_rejects_nonpositive_repeat(capsys):
+    assert main(["bench", "--repeat", "0"]) == 2
+    assert "--repeat" in capsys.readouterr().err
+
+
+def test_boolean_flags_override_config_both_ways(tmp_path):
+    from repro.cli import _config_from_args, build_parser
+    from repro.api import RepairConfig
+    config_path = tmp_path / "run.json"
+    config_path.write_text(RepairConfig.for_scenario(
+        "Q1", multiquery=True, warm_engine=False).to_json())
+    parser = build_parser()
+    args = parser.parse_args(["repair", "q1", "--config", str(config_path),
+                              "--no-multiquery", "--warm"])
+    config = _config_from_args(args)
+    assert config.multiquery is False
+    assert config.warm_engine is True

@@ -1,0 +1,137 @@
+"""RepairConfig: JSON round-trip, factories, and error handling."""
+
+import json
+
+import pytest
+
+from repro.api import ConfigError, RepairConfig
+from repro.backtest import Backtester, EarlyAbortPolicy, MultiQueryBacktester
+from repro.scenarios import build_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+def full_config():
+    """A config with every knob off its default (incl. scheduler/abort)."""
+    return RepairConfig(
+        scenario=ScenarioSpec.create("Q2", params={}),
+        max_candidates=9,
+        cost_overrides={"change_constant": 0.7},
+        cost_cutoff=4.5,
+        far_constant_surcharge=0.4,
+        expansion_cost=0.02,
+        multiquery=True,
+        ks_threshold=0.11,
+        alpha=0.01,
+        use_significance=True,
+        trace_limit=120,
+        max_packet_in_growth=2.5,
+        replay_batch_size=16,
+        warm_engine=False,
+        abort=EarlyAbortPolicy(check_every=16, ks_slack=1.5,
+                               min_fraction=0.5),
+        workers=3,
+        transport="spawn",
+        transport_options={"port": 0},
+    )
+
+
+def test_json_round_trip_defaults():
+    config = RepairConfig.for_scenario("Q1")
+    assert RepairConfig.from_json(config.to_json()) == config
+
+
+def test_json_round_trip_every_knob():
+    config = full_config()
+    clone = RepairConfig.from_json(config.to_json())
+    assert clone == config
+    # The wire is plain JSON all the way down (no repr()-style payloads).
+    wire = json.loads(config.to_json())
+    assert wire["scenario"]["name"] == "Q2"
+    assert wire["abort"]["check_every"] == 16
+    assert wire["transport"] == "spawn"
+    assert wire["workers"] == 3
+    assert wire["warm_engine"] is False
+
+
+def test_from_file_round_trip(tmp_path):
+    path = tmp_path / "config.json"
+    config = full_config()
+    path.write_text(config.to_json(indent=2), encoding="utf-8")
+    assert RepairConfig.from_file(path) == config
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ConfigError, match="unknown config keys"):
+        RepairConfig.from_wire({"max_candidate": 5})
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigError):
+        RepairConfig.from_json("not json")
+    with pytest.raises(ConfigError):
+        RepairConfig.from_json("[1, 2]")
+
+
+def test_build_scenario_requires_spec():
+    with pytest.raises(ConfigError, match="no ScenarioSpec"):
+        RepairConfig().build_scenario()
+
+
+def test_cost_model_factory_applies_overrides():
+    model = full_config().cost_model()
+    assert model.costs["change_constant"] == 0.7
+    assert model.cutoff == 4.5
+    assert model.far_constant_surcharge == 0.4
+    assert model.expansion_cost == 0.02
+    # A default config keeps the paper's cost model untouched.
+    default_model = RepairConfig().cost_model()
+    assert default_model.costs["change_constant"] != 0.7
+    assert default_model.cutoff != 4.5
+
+
+def test_make_backtester_wires_every_knob():
+    config = full_config()
+    scenario = build_scenario("Q2")
+    backtester = config.make_backtester(scenario)
+    assert isinstance(backtester, MultiQueryBacktester)
+    assert backtester.ks_threshold == 0.11
+    assert backtester.alpha == 0.01
+    assert backtester.use_significance is True
+    assert backtester.trace_limit == 120
+    assert backtester.max_packet_in_growth == 2.5
+    assert backtester.replay_batch_size == 16
+    assert backtester.warm_engine is False
+    assert backtester.workers == 3
+    assert backtester.abort_policy == config.abort
+
+
+def test_make_backtester_defaults_to_scenario_threshold():
+    scenario = build_scenario("Q5")
+    backtester = RepairConfig().make_backtester(scenario)
+    assert isinstance(backtester, Backtester)
+    assert backtester.ks_threshold == scenario.ks_threshold
+
+
+def test_make_scheduler_none_for_local_runs():
+    assert RepairConfig().make_scheduler() is None
+
+
+def test_make_scheduler_flows_from_config():
+    config = RepairConfig.for_scenario("Q1", transport="inprocess", workers=2,
+                                       abort=EarlyAbortPolicy(check_every=8))
+    scheduler = config.make_scheduler()
+    try:
+        assert scheduler is not None
+        assert scheduler.workers == 2
+        assert scheduler.early_abort == config.abort
+        assert scheduler.transport.name == "inprocess"
+    finally:
+        scheduler.close()
+
+
+def test_with_updates_returns_modified_copy():
+    config = RepairConfig.for_scenario("Q1")
+    tuned = config.with_updates(max_candidates=3, multiquery=True)
+    assert tuned.max_candidates == 3 and tuned.multiquery
+    assert config.max_candidates == 20 and not config.multiquery
+    assert tuned.scenario == config.scenario

@@ -1,0 +1,225 @@
+"""RepairSession: parity with the legacy debugger, events, resumability."""
+
+import io
+import json
+import warnings
+
+import pytest
+
+from repro.api import (DEFAULT_STAGES, EventBus, JsonlEventWriter,
+                       RepairConfig, RepairSession, Stage, StageError,
+                       event_from_wire, repair)
+from repro.debugger import MetaProvenanceDebugger
+from repro.scenarios import build_q1, build_scenario
+
+
+def report_rows(report):
+    """Everything observable about a report except wall-clock timings and
+    candidate tags (tags serialise a process-global vertex counter, so two
+    *identical* runs in one process never share them)."""
+    return [
+        (r.candidate.description, r.candidate.cost,
+         r.ks.statistic, r.effective, r.accepted, r.notes)
+        for r in report.backtest.results
+    ]
+
+
+@pytest.fixture(scope="module")
+def legacy_report():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return MetaProvenanceDebugger(build_q1(), max_candidates=14).diagnose()
+
+
+@pytest.fixture(scope="module")
+def session_report():
+    config = RepairConfig.for_scenario("Q1", max_candidates=14)
+    return RepairSession(config).run()
+
+
+def test_session_matches_legacy_debugger(legacy_report, session_report):
+    assert report_rows(session_report) == report_rows(legacy_report)
+    assert session_report.scenario_name == legacy_report.scenario_name
+    assert session_report.symptom == legacy_report.symptom
+    assert ([r.candidate.description for r in session_report.suggestions()]
+            == [r.candidate.description for r in legacy_report.suggestions()])
+    assert session_report.counts() == legacy_report.counts()
+
+
+@pytest.mark.parametrize("scenario", ["Q2", "Q3", "Q4", "Q5"])
+def test_session_matches_legacy_on_all_scenarios(scenario):
+    """A JSON-round-tripped config reproduces the legacy reference report."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = MetaProvenanceDebugger(build_scenario(scenario),
+                                        max_candidates=8).diagnose()
+    config = RepairConfig.from_json(
+        RepairConfig.for_scenario(scenario, max_candidates=8).to_json())
+    report = RepairSession(config).run()
+    assert report_rows(report) == report_rows(legacy)
+    assert report.counts() == legacy.counts()
+
+
+@pytest.mark.parametrize("transport", ["inprocess", "spawn"])
+def test_session_matches_legacy_on_2worker_scheduler(legacy_report, transport):
+    config = RepairConfig.for_scenario("Q1", max_candidates=14,
+                                       transport=transport, workers=2)
+    report = RepairSession(config).run()
+    assert report_rows(report) == report_rows(legacy_report)
+
+
+def test_session_multiquery_matches_legacy():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = MetaProvenanceDebugger(
+            build_q1(), max_candidates=14,
+            use_multiquery_backtesting=True).diagnose()
+    config = RepairConfig.for_scenario("Q1", max_candidates=14,
+                                       multiquery=True)
+    report = RepairSession(config).run()
+    assert report_rows(report) == report_rows(legacy)
+    assert (report.backtest.shared_evaluations
+            == legacy.backtest.shared_evaluations)
+    assert (report.backtest.candidate_evaluations
+            == legacy.backtest.candidate_evaluations)
+
+
+def test_legacy_debugger_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="RepairSession"):
+        MetaProvenanceDebugger(build_q1())
+
+
+def test_legacy_stepwise_methods_still_work():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        debugger = MetaProvenanceDebugger(build_q1(), max_candidates=6)
+    history = debugger.build_history()
+    exploration = debugger.generate_candidates(history)
+    assert 0 < len(exploration.candidates) <= 6
+    report = debugger.backtester().evaluate_all(exploration.candidates)
+    assert len(report.results) == len(exploration.candidates)
+
+
+def test_event_stream_structure():
+    config = RepairConfig.for_scenario("Q1", max_candidates=6)
+    session = RepairSession(config)
+    session.run()
+    history = session.events.history
+    kinds = [event.kind for event in history]
+    assert kinds[0] == "session_started"
+    assert kinds[-1] == "session_finished"
+    stage_starts = [e.stage for e in session.events.of_kind("stage_started")]
+    assert stage_starts == ["diagnose", "generate", "backtest", "rank"]
+    assert stage_starts == [e.stage for e in
+                            session.events.of_kind("stage_finished")]
+    found = session.events.of_kind("candidate_found")
+    progress = session.events.of_kind("backtest_progress")
+    generated = len(session.artifacts["exploration"].candidates)
+    assert [e.index for e in found] == list(range(1, generated + 1))
+    assert [e.done for e in progress] == list(range(1, generated + 1))
+    finished = history[-1]
+    assert finished.generated == generated
+
+
+def test_events_round_trip_as_jsonl():
+    config = RepairConfig.for_scenario("Q1", max_candidates=4)
+    bus = EventBus()
+    stream = io.StringIO()
+    bus.subscribe(JsonlEventWriter(stream))
+    RepairSession(config, events=bus).run()
+    lines = [line for line in stream.getvalue().splitlines() if line]
+    assert len(lines) == len(bus.history)
+    for line, original in zip(lines, bus.history):
+        assert event_from_wire(json.loads(line)) == original
+
+
+def test_broken_subscriber_does_not_kill_run():
+    config = RepairConfig.for_scenario("Q1", max_candidates=4)
+    bus = EventBus()
+
+    def broken(event):
+        raise RuntimeError("observer crashed")
+
+    bus.subscribe(broken)
+    report = RepairSession(config, events=bus).run()
+    assert report is not None
+    assert bus.subscriber_errors
+
+
+def test_partial_run_and_resume():
+    config = RepairConfig.for_scenario("Q1", max_candidates=6)
+    session = RepairSession(config)
+    assert session.run(until="generate") is None
+    assert set(session.artifacts) == {"history", "exploration"}
+    exploration = session.artifacts["exploration"]
+    report = session.run()
+    assert report is not None
+    # Resuming reuses the earlier artifacts instead of recomputing them.
+    assert session.artifacts["exploration"] is exploration
+    stage_starts = [e.stage for e in session.events.of_kind("stage_started")]
+    assert stage_starts == ["diagnose", "generate", "backtest", "rank"]
+
+
+def test_run_until_completed_stage_stays_partial():
+    config = RepairConfig.for_scenario("Q1", max_candidates=4)
+    session = RepairSession(config)
+    session.run(until="generate")
+    # Repeating the partial run must NOT fall through to the later stages.
+    session.run(until="generate")
+    assert set(session.artifacts) == {"history", "exploration"}
+    with pytest.raises(StageError, match="no stage named"):
+        session.run(until="genrate")
+
+
+def test_legacy_debugger_honours_attribute_mutation():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        debugger = MetaProvenanceDebugger(build_q1())
+    debugger.max_candidates = 3      # pre-2.0 idiom: mutate, then diagnose
+    report = debugger.diagnose()
+    assert len(report.backtest.results) == 3
+
+
+def test_reset_from_stage_drops_later_artifacts():
+    config = RepairConfig.for_scenario("Q1", max_candidates=4)
+    session = RepairSession(config)
+    session.run()
+    session.reset(from_stage="backtest")
+    assert set(session.artifacts) == {"history", "exploration"}
+    assert session.run() is not None
+    with pytest.raises(StageError, match="no stage named"):
+        session.reset(from_stage="backtests")
+
+
+def test_run_stage_requires_inputs():
+    config = RepairConfig.for_scenario("Q1", max_candidates=4)
+    session = RepairSession(config)
+    with pytest.raises(StageError, match="requires artifacts"):
+        session.run_stage(session.stage("backtest"))
+    with pytest.raises(StageError, match="no stage named"):
+        session.stage("nope")
+
+
+def test_custom_stage_pipeline():
+    class CountStage(Stage):
+        name = "count"
+        provides = "rule_count"
+
+        def run(self, session):
+            return len(session.scenario.program.rules)
+
+    session = RepairSession(scenario=build_scenario("Q1"),
+                            stages=[CountStage()])
+    assert session.run() is None          # no standard report artifacts
+    assert session.artifacts["rule_count"] == 8
+    assert "count" in session.stage_seconds
+
+
+def test_repair_convenience_wrapper():
+    report = repair("Q1", max_candidates=4)
+    assert len(report.backtest.results) == 4
+
+
+def test_default_stage_pipeline_is_documented_order():
+    assert [stage.name for stage in DEFAULT_STAGES] == [
+        "diagnose", "generate", "backtest", "rank"]
