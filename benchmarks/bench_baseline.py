@@ -21,6 +21,11 @@ Measured workloads:
   long producing a replay-ready engine+controller+simulator takes per
   candidate via cold rebuild vs warm checkpoint-restore + rule delta, at
   the Fig 9b candidate count and at ~100 candidates;
+* ``static_vet`` — static candidate vetting (schema v4): the full Q1
+  explorer candidate set backtested with vetting on vs off.  The row
+  records how many candidates the analyzer vetoed (replays saved) and
+  asserts the accepted verdicts are identical either way — the soundness
+  contract of ``repro.analysis.vet`` measured end to end;
 * ``distrib.*`` — the same candidate set through the distributed backtest
   fabric (``repro.distrib``): a ``workers=N`` scaling row per transport
   (spawn coordinator always; socket coordinator in full runs);
@@ -70,7 +75,7 @@ from repro.repair.apply import apply_candidate  # noqa: E402
 from repro.scenarios import build_scenario  # noqa: E402
 from repro.sdn.network import NetworkSimulator  # noqa: E402
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -258,6 +263,53 @@ def bench_warm_vs_cold(scenario, candidate_sets: Dict[str, List],
     return out
 
 
+#: Candidate budget for the static-vet row — deep enough that the
+#: explorer's support-tuple insertions (the vetoable class) materialise.
+STATIC_VET_CANDIDATES = 25
+
+
+def bench_static_vet(scenario) -> Dict:
+    """Vetting on vs off over the deep Q1 explorer candidate set.
+
+    Unlike the fig9b rows (whose shallow candidate sets contain nothing
+    vetoable), the 25-candidate set includes the explorer's support-tuple
+    insertions, several of which the constant-propagation pass proves
+    inert.  The row records the replays saved and the verdict parity.
+    """
+    from repro.meta.explorer import MetaProvenanceExplorer
+    explorer = MetaProvenanceExplorer(
+        scenario.program, scenario.history_index(),
+        max_candidates=STATIC_VET_CANDIDATES)
+    candidates = explorer.explore_missing(scenario.goal()).candidates
+    threshold = scenario.ks_threshold
+
+    started = time.perf_counter()
+    vetted = Backtester(scenario, ks_threshold=threshold)
+    report_on = vetted.evaluate_all(candidates)
+    seconds_on = time.perf_counter() - started
+
+    started = time.perf_counter()
+    unvetted = Backtester(scenario, ks_threshold=threshold, static_vet=False)
+    report_off = unvetted.evaluate_all(candidates)
+    seconds_off = time.perf_counter() - started
+
+    accepted_on = [r.accepted for r in report_on.results]
+    accepted_off = [r.accepted for r in report_off.results]
+    assert accepted_on == accepted_off, \
+        "static vetting changed the accepted set — soundness violation"
+    assert report_on.vetoed_count > 0, \
+        "the deep Q1 candidate set should contain vetoable candidates"
+    return {
+        "candidates": len(candidates),
+        "vetoed": report_on.vetoed_count,
+        "replayed_with_vet": len(candidates) - report_on.vetoed_count,
+        "replayed_without_vet": len(candidates),
+        "accepted": sum(accepted_on),
+        "seconds_with_vet": seconds_on,
+        "seconds_without_vet": seconds_off,
+    }
+
+
 def bench_distrib(scenario, candidates, workers: int,
                   reference_accepted: List[bool],
                   include_socket: bool = False) -> Dict:
@@ -371,6 +423,7 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         scenario, warm_sets, rounds=SMOKE_WARM_ROUNDS if smoke else 5)
     distrib = bench_distrib(scenario, candidates, workers,
                             reference_accepted, include_socket=not smoke)
+    static_vet = bench_static_vet(scenario)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -384,6 +437,7 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         "fig9b": fig9b,
         "warm_vs_cold": warm_vs_cold,
         "distrib": distrib,
+        "static_vet": static_vet,
         "smoke_reference": (
             _smoke_reference(workers, engine, fig9b,
                              warm_row=warm_vs_cold["fig9b_workload"])
@@ -420,6 +474,10 @@ def main(argv=None) -> int:
                       if "workers" in entry else "")
             print(f"{section + '.' + label:>24} "
                   f"{entry['seconds']:>10.3f}{suffix}")
+    vet = payload["static_vet"]
+    print(f"{'static_vet':>24} {vet['seconds_with_vet']:>10.3f} "
+          f"(unvetted {vet['seconds_without_vet']:.3f}, "
+          f"{vet['vetoed']}/{vet['candidates']} vetoed)")
     for label, entry in payload["warm_vs_cold"].items():
         print(f"{'warm_vs_cold.' + label:>24} "
               f"{entry['warm_setup_seconds']:>10.4f} "

@@ -1,0 +1,50 @@
+"""Static analysis over NDlog programs.
+
+Four cooperating passes (Section "static program analysis" of the repair
+pipeline):
+
+``depgraph``
+    Predicate-level program dependency graph with positive / negative /
+    aggregate edges, strongly connected components, stratification and
+    recursion-through-negation detection.
+
+``safety``
+    Range restriction (every head / negated / comparison variable bound by a
+    positive body atom or an assignment), arity consistency against declared
+    :class:`~repro.ndlog.tuples.TableSchema`, and a small type-inference
+    lattice over join keys and comparison constants.
+
+``constprop``
+    Constant propagation through joined static tables: proves PacketIn keys
+    inert across multi-atom joins (the engine-exact generalisation of the
+    single-variable guard probe) and proves whole tuple *insertions* inert.
+
+``vet``
+    Candidate vetting: runs the passes over a repair candidate's patched
+    program and classifies it ``ok | warn | reject`` with machine-readable
+    :class:`~repro.analysis.findings.LintFinding` records.
+
+The package only imports :mod:`repro.ndlog` leaf modules (``ast``, ``expr``,
+``tuples``) so it can be used from the engine, controllers and repair layers
+without import cycles.
+"""
+
+from .constprop import ConstantPropagation
+from .depgraph import DependencyEdge, DependencyGraph
+from .findings import LintFinding, Severity
+from .lint import lint_program, lint_scenario
+from .safety import check_safety
+from .vet import CandidateVetter, VetResult
+
+__all__ = [
+    "CandidateVetter",
+    "ConstantPropagation",
+    "DependencyEdge",
+    "DependencyGraph",
+    "LintFinding",
+    "Severity",
+    "VetResult",
+    "check_safety",
+    "lint_program",
+    "lint_scenario",
+]

@@ -22,10 +22,10 @@ this API; new code should start here::
 """
 
 from ..events import (BacktestProgress, CandidateAborted, CandidateFound,
-                      EventBus, JsonlEventWriter, SessionEvent,
-                      SessionFinished, SessionStarted, StageFinished,
-                      StageStarted, WarmEngineStats, event_from_wire,
-                      progress_to_events)
+                      CandidateVetoed, EventBus, JsonlEventWriter,
+                      SessionEvent, SessionFinished, SessionStarted,
+                      StageFinished, StageStarted, WarmEngineStats,
+                      event_from_wire, progress_to_events)
 from .config import ConfigError, RepairConfig
 from .session import DiagnosisReport, PhaseTimings, RepairSession, repair
 from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
@@ -33,7 +33,7 @@ from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
 
 __all__ = [
     "BacktestProgress", "BacktestStage", "CandidateAborted", "CandidateFound",
-    "ConfigError", "DEFAULT_STAGES", "DiagnoseStage", "DiagnosisReport",
+    "CandidateVetoed", "ConfigError", "DEFAULT_STAGES", "DiagnoseStage", "DiagnosisReport",
     "EventBus", "GenerateStage", "JsonlEventWriter", "PhaseTimings",
     "RankStage", "RepairConfig", "RepairSession", "SessionEvent",
     "SessionFinished", "SessionStarted", "Stage", "StageError",

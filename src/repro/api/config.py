@@ -71,6 +71,10 @@ class RepairConfig:
     replay_batch_size: Optional[int] = None
     #: Switch candidates on a warm engine (checkpoint restore + rule delta).
     warm_engine: bool = True
+    #: Statically vet candidates before replay; provably behaviour-
+    #: preserving ones (inert inserts, no-op edits) skip backtesting and
+    #: are reported rejected with a ``vetoed`` note.
+    static_vet: bool = True
     #: Optional mid-trace kill switch for hopeless candidates.
     abort: Optional[EarlyAbortPolicy] = None
 
@@ -140,7 +144,8 @@ class RepairConfig:
             workers=self.workers,
             replay_batch_size=self.replay_batch_size,
             abort_policy=self.abort,
-            warm_engine=self.warm_engine)
+            warm_engine=self.warm_engine,
+            static_vet=self.static_vet)
 
     def make_scheduler(self, progress=None, events=None):
         """The configured distributed scheduler, or ``None`` for local runs.

@@ -27,7 +27,8 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..backtest.ranking import rank_results
-from ..events import CandidateFound, WarmEngineStats, progress_to_events
+from ..events import (CandidateFound, CandidateVetoed, WarmEngineStats,
+                      progress_to_events)
 from ..meta.explorer import MetaProvenanceExplorer
 
 
@@ -112,10 +113,26 @@ class BacktestStage(Stage):
         finally:
             if scheduler is not None:
                 scheduler.close()
-        if backtester.warm_hits or backtester.warm_fallbacks:
+        for result in report.results:
+            note = next((str(n) for n in result.notes
+                         if str(n).startswith("vetoed by static analysis")),
+                        None)
+            if note is not None:
+                reason = note.rsplit(": ", 1)[-1]
+                session.events.emit(CandidateVetoed(
+                    description=(result.candidate.description
+                                 if result.candidate else ""),
+                    reason=reason, note=note))
+        probes = backtester.probe_counters()
+        if (backtester.warm_hits or backtester.warm_fallbacks
+                or backtester.vetoed
+                or probes["inert_probe_hits"] or probes["inert_probe_misses"]):
             session.events.emit(WarmEngineStats(
                 hits=backtester.warm_hits,
-                fallbacks=backtester.warm_fallbacks))
+                fallbacks=backtester.warm_fallbacks,
+                vetoed=backtester.vetoed,
+                probe_hits=probes["inert_probe_hits"],
+                probe_misses=probes["inert_probe_misses"]))
         return report
 
 

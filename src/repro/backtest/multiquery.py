@@ -360,10 +360,12 @@ class MultiQueryBacktester(Backtester):
                      scheduler=None, progress=None) -> MultiQueryReport:
         started = _time.perf_counter()
         report = MultiQueryReport(baseline=self.baseline())
-        outcomes = self._run_candidates(list(candidates), workers, scheduler,
+        all_candidates = list(candidates)
+        survivors, vetoed = self._prefilter(all_candidates)
+        outcomes = self._run_candidates(survivors, workers, scheduler,
                                         progress=progress)
-        for outcome in outcomes:
-            report.results.append(outcome.result)
+        for outcome in self._merge_results(report, len(all_candidates),
+                                           outcomes, vetoed):
             report.shared_evaluations += outcome.shared_evaluations
             report.candidate_evaluations += outcome.candidate_evaluations
         report.packet_count = len(self._trace())

@@ -185,6 +185,10 @@ class BacktestReport:
     elapsed_seconds: float = 0.0
     #: Number of trace packets each candidate was evaluated against.
     packet_count: int = 0
+    #: Candidates rejected by static vetting before any replay ran; their
+    #: results are still in :attr:`results` (marked by a ``vetoed`` note),
+    #: so ``len(results)`` always equals the candidate count.
+    vetoed_count: int = 0
 
     def accepted(self) -> List[BacktestResult]:
         return [r for r in self.results if r.accepted]
@@ -207,7 +211,8 @@ class Backtester:
                  workers: int = 1,
                  replay_batch_size: Optional[int] = None,
                  abort_policy: Optional[EarlyAbortPolicy] = None,
-                 warm_engine: bool = True):
+                 warm_engine: bool = True,
+                 static_vet: bool = True):
         self.scenario = scenario
         self.ks_threshold = ks_threshold
         self.alpha = alpha
@@ -237,9 +242,17 @@ class Backtester:
         #: cold path; ineligible candidates fall back automatically.
         self.warm_engine = warm_engine
         self._warm_state: Optional[WarmEvaluationState] = None
-        #: Per-process counters: candidates served warm vs cold fallbacks.
+        #: Vet each candidate with the static analyzer before replaying it;
+        #: provably behaviour-preserving candidates (inert inserts, no-op
+        #: edits) skip their replay entirely and are reported rejected with
+        #: a ``vetoed`` note (see :class:`repro.analysis.vet.CandidateVetter`).
+        self.static_vet = static_vet
+        self._vetter = None
+        #: Per-process counters: candidates served warm vs cold fallbacks,
+        #: plus candidates vetoed without any replay.
         self.warm_hits = 0
         self.warm_fallbacks = 0
+        self.vetoed = 0
         self._baseline: Optional[TrafficStats] = None
 
     # ------------------------------------------------------------------
@@ -283,6 +296,16 @@ class Backtester:
         if self._warm_state is None:
             self._warm_state = WarmEvaluationState(self.scenario)
         return self._warm_state
+
+    def probe_counters(self) -> Dict[str, int]:
+        """Inert-probe hit/miss counts of the warm controller (zeros when
+        no warm state exists, e.g. cold-only or remote runs)."""
+        state = self._warm_state
+        controller = getattr(state, "controller", None) \
+            if state is not None else None
+        if controller is not None and hasattr(controller, "probe_counters"):
+            return controller.probe_counters()
+        return {"inert_probe_hits": 0, "inert_probe_misses": 0}
 
     def _replay_simulator(self, repaired: RepairedProgram) -> NetworkSimulator:
         """A simulator ready to replay ``repaired`` — warm when eligible,
@@ -453,14 +476,95 @@ class Backtester:
                 progress(done, len(candidates), outcome.result)
         return outcomes
 
+    # ------------------------------------------------------------------
+    # Static vetting (parent-side, before any replay)
+    # ------------------------------------------------------------------
+
+    def _candidate_vetter(self):
+        if self._vetter is None:
+            from ..analysis.vet import CandidateVetter
+            scenario = self.scenario
+            mapping = getattr(scenario, "mapping", None)
+            schemas = {schema.name: schema for schema in scenario.schemas()}
+            self._vetter = CandidateVetter(
+                scenario.program, schemas=schemas,
+                static_tuples=list(scenario.static_tuples),
+                event_tables=({mapping.packet_in_table}
+                              if mapping is not None else ()),
+                flow_table=(mapping.flow_table
+                            if mapping is not None else None))
+        return self._vetter
+
+    def _vetoed_result(self, candidate: RepairCandidate, verdict,
+                       elapsed: float) -> BacktestResult:
+        """The result a vetoed candidate's replay *would* have produced.
+
+        Inert-insert and no-op vetoes are behaviour-preservation proofs:
+        the patched run is bit-identical to the baseline, so the verdict
+        fields are computed from the baseline statistics exactly as
+        :meth:`evaluate` would have.  Candidates vetoed because they fail
+        to evaluate at all (apply errors, unsupported negation) have no
+        well-defined replay and are reported flatly rejected.
+        """
+        baseline = self.baseline()
+        note = f"vetoed by static analysis: {verdict.reason}"
+        ks = compare_traffic(baseline, baseline)
+        if verdict.reason in ("apply-failed", "negation-unsupported"):
+            effective = accepted = False
+        else:
+            effective = bool(self.scenario.is_effective(baseline))
+            accepted = effective and not self._distorts(ks) \
+                and not self._overloads_controller(baseline)
+        return BacktestResult(candidate=candidate, stats=baseline, ks=ks,
+                              effective=effective, accepted=accepted,
+                              elapsed_seconds=elapsed,
+                              notes=candidate.notes + (note,))
+
+    def _prefilter(self, candidates: Sequence[RepairCandidate]):
+        """Vet all candidates; returns (survivors, index -> vetoed result)."""
+        if not self.static_vet:
+            return list(candidates), {}
+        vetter = self._candidate_vetter()
+        survivors: List[RepairCandidate] = []
+        vetoed: Dict[int, BacktestResult] = {}
+        for index, candidate in enumerate(candidates):
+            started = _time.perf_counter()
+            verdict = vetter.vet_candidate(candidate)
+            if verdict.rejected:
+                elapsed = _time.perf_counter() - started
+                vetoed[index] = self._vetoed_result(candidate, verdict,
+                                                    elapsed)
+                self.vetoed += 1
+            else:
+                survivors.append(candidate)
+        return survivors, vetoed
+
+    @staticmethod
+    def _merge_results(report: BacktestReport, total: int, outcomes,
+                       vetoed: Dict[int, BacktestResult]):
+        """Interleave replayed and vetoed results back into input order."""
+        replayed = iter(outcomes)
+        merged = []
+        for index in range(total):
+            if index in vetoed:
+                report.results.append(vetoed[index])
+            else:
+                outcome = next(replayed)
+                report.results.append(outcome.result)
+                merged.append(outcome)
+        report.vetoed_count = len(vetoed)
+        return merged
+
     def evaluate_all(self, candidates: Sequence[RepairCandidate],
                      workers: Optional[int] = None,
                      scheduler=None, progress=None) -> BacktestReport:
         started = _time.perf_counter()
         report = BacktestReport(baseline=self.baseline())
         report.packet_count = len(self._trace())
-        outcomes = self._run_candidates(list(candidates), workers, scheduler,
+        all_candidates = list(candidates)
+        survivors, vetoed = self._prefilter(all_candidates)
+        outcomes = self._run_candidates(survivors, workers, scheduler,
                                         progress=progress)
-        report.results.extend(outcome.result for outcome in outcomes)
+        self._merge_results(report, len(all_candidates), outcomes, vetoed)
         report.elapsed_seconds = _time.perf_counter() - started
         return report

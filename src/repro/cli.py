@@ -163,9 +163,14 @@ class _LiveRenderer:
                     f"KS={event.ks_statistic:.4f} {event.description}")
         if kind == "candidate_aborted":
             return f"   aborted: {event.description} ({event.note})"
+        if kind == "candidate_vetoed":
+            return f"   vetoed ({event.reason}): {event.description}"
         if kind == "warm_engine_stats":
             return (f"   warm engine: {event.hits} hits, "
-                    f"{event.fallbacks} cold fallbacks")
+                    f"{event.fallbacks} cold fallbacks; "
+                    f"static analysis: {event.vetoed} vetoed, "
+                    f"probe {event.probe_hits}/"
+                    f"{event.probe_hits + event.probe_misses} inert")
         if kind == "session_finished":
             return (f"== {event.scenario}: {event.generated} candidates, "
                     f"{event.surviving} survived "
@@ -262,6 +267,91 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Statically analyse a program (and optionally vet candidates).
+
+    The target is either a registered scenario name — linted with its
+    schemas and static base data — or a path to an ``.ndlog`` source file.
+    Exit status: 0 when the program lints clean, 1 when there are
+    findings, 2 for unreadable/unparseable input.
+    """
+    from .analysis import CandidateVetter, lint_program, lint_scenario
+    from .ndlog.errors import ParseError
+    from .ndlog.parser import parse_program
+
+    target = args.target
+    scenario = None
+    if target.upper() in SCENARIO_BUILDERS:
+        scenario = build_scenario(target.upper())
+        source_name = target.upper()
+        findings = lint_scenario(scenario)
+    else:
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"repro lint: cannot read {target}: {exc}", file=sys.stderr)
+            return 2
+        source_name = target
+        try:
+            program = parse_program(source, name=target)
+        except ParseError as exc:
+            print(f"{target}:{exc.line}:{exc.column}: error: (parse) "
+                  f"{exc.message}", file=sys.stderr)
+            return 2
+        findings = lint_program(program)
+
+    vet_rows = []
+    if args.candidates:
+        if scenario is None:
+            print("repro lint: --candidates requires a scenario target "
+                  "(schemas and base data)", file=sys.stderr)
+            return 2
+        from .repair.candidates import candidate_from_wire
+        with open(args.candidates, "r", encoding="utf-8") as handle:
+            wires = json.load(handle)
+        mapping = scenario.mapping
+        vetter = CandidateVetter(
+            scenario.program,
+            schemas={s.name: s for s in scenario.schemas()},
+            static_tuples=scenario.static_tuples,
+            event_tables={mapping.packet_in_table},
+            flow_table=mapping.flow_table)
+        for wire in wires:
+            candidate = candidate_from_wire(wire)
+            verdict = vetter.vet_candidate(candidate)
+            vet_rows.append((candidate, verdict))
+
+    if args.json:
+        print(json.dumps({
+            "target": source_name,
+            "clean": not findings,
+            "findings": [finding.as_dict() for finding in findings],
+            "candidates": [
+                {"description": candidate.description,
+                 "candidate_id": candidate.candidate_id,
+                 "verdict": verdict.verdict,
+                 "reason": verdict.reason,
+                 "findings": [f.as_dict() for f in verdict.findings]}
+                for candidate, verdict in vet_rows],
+        }, indent=2, sort_keys=True))
+        return 1 if findings else 0
+
+    for finding in findings:
+        print(finding.render(source_name))
+    for candidate, verdict in vet_rows:
+        label = candidate.description or candidate.candidate_id
+        print(f"{source_name}: candidate {label}: {verdict.describe()}")
+    if findings:
+        errors = sum(1 for f in findings if f.severity == "error")
+        print(f"{source_name}: {len(findings)} finding(s), "
+              f"{errors} error(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"{source_name}: clean", file=sys.stderr)
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from .distrib.worker import main as worker_main
     return worker_main(["--connect", args.connect])
@@ -318,6 +408,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=3)
     _add_config_options(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyse an NDlog program")
+    lint.add_argument("target",
+                      help="registered scenario name (Q1..Q5) or path to "
+                           "an .ndlog source file")
+    lint.add_argument("--candidates", metavar="FILE",
+                      help="vet repair candidates from a JSON wire file "
+                           "against the scenario's program")
+    lint.add_argument("--json", action="store_true",
+                      help="print findings (and vet verdicts) as JSON")
+    lint.add_argument("--quiet", action="store_true",
+                      help="no 'clean' confirmation on stderr")
+    lint.set_defaults(func=_cmd_lint)
 
     worker = sub.add_parser(
         "worker", help="join a socket coordinator as a backtest worker")

@@ -34,9 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..ndlog.ast import Const, Program, Var, WILDCARD
-from ..ndlog.errors import EvaluationError
-from ..ndlog.expr import _compare
+from ..ndlog.ast import Program, Var, WILDCARD
 from ..ndlog.tuples import TableSchema
 
 
@@ -186,88 +184,47 @@ class PacketInInertProbe:
     engine — a multi-switch walk then needs only the single ingress batch
     call.
 
-    The proof mirrors the engine's trigger prefilter exactly: a rule
-    occurrence is ruled out when a constant argument of its PacketIn atom
-    mismatches the tuple, a variable repeats within the atom with
-    conflicting values, or a single-variable selection against a constant
-    (the variable bound by this atom, not overwritten by an assignment)
-    definitively fails.  ``==`` is wildcard-aware, other comparisons that
-    raise are treated as "might fire" — both exactly as the engine defers
-    them.  A key is inert only if *every* occurrence in the program is
-    ruled out; the verdict is conservative (``False`` never lies, ``True``
-    is a proof) and depends only on the program text, so it is cached per
-    key.
+    The proof is delegated to
+    :class:`repro.analysis.constprop.ConstantPropagation`, which mirrors
+    the engine's matching semantics exactly (strict constant and join
+    matching, wildcard-aware selection guards, raising comparisons deferred
+    as "might fire") and additionally propagates the key's constants
+    through joins with statically enumerable tables — a key whose join
+    column matches no static tuple is proven inert even though every guard
+    alone is satisfiable.  A key is inert only if *every* occurrence in the
+    program is ruled out; the verdict is conservative (``False`` never
+    lies, ``True`` is a proof) and depends only on the program text and the
+    static base data, so it is cached per key.
+
+    The probe keeps hit/miss counters (``hits`` / ``misses``) so replay
+    layers can report how much work static analysis saved.
     """
 
-    def __init__(self, program: Program, packet_in_table: str):
-        self._occurrences: List[Tuple] = []
-        self._cache: Dict[Tuple, bool] = {}
-        for rule in program.rules:
-            assigned = {assignment.var for assignment in rule.assignments}
-            for atom in rule.body:
-                if atom.table != packet_in_table:
-                    continue
-                consts: List[Tuple[int, object]] = []
-                var_column: Dict[str, int] = {}
-                conflicts: List[Tuple[int, int]] = []
-                for column, arg in enumerate(atom.args):
-                    if isinstance(arg, Const):
-                        consts.append((column, arg.value))
-                    elif isinstance(arg, Var):
-                        if arg.name in var_column:
-                            conflicts.append((var_column[arg.name], column))
-                        else:
-                            var_column[arg.name] = column
-                guards: List[Tuple[int, str, object, bool]] = []
-                for selection in rule.selections:
-                    left, right = selection.left, selection.right
-                    if isinstance(left, Var) and isinstance(right, Const):
-                        name, value, var_left = left.name, right.value, True
-                    elif isinstance(right, Var) and isinstance(left, Const):
-                        name, value, var_left = right.name, left.value, False
-                    else:
-                        continue
-                    if name in assigned or name not in var_column:
-                        continue
-                    guards.append((var_column[name], selection.op, value,
-                                   var_left))
-                self._occurrences.append((len(atom.args), tuple(consts),
-                                          tuple(conflicts), tuple(guards)))
+    def __init__(self, program: Program, packet_in_table: str,
+                 schemas: Optional[Dict[str, TableSchema]] = None,
+                 static_tuples: Iterable = (),
+                 flow_table: Optional[str] = None,
+                 closed_world: bool = False):
+        from ..analysis.constprop import ConstantPropagation
+
+        self._packet_in_table = packet_in_table
+        # Static-join enumeration is only sound when the caller's static
+        # tuples are the complete base extent (controllers pass
+        # ``closed_world=True``); bare probes reason from guards alone.
+        self._propagation = ConstantPropagation(
+            program, schemas=schemas, static_tuples=list(static_tuples),
+            event_tables={packet_in_table}, flow_table=flow_table,
+            closed_world=closed_world)
+        self.hits = 0
+        self.misses = 0
 
     def inert(self, values: Tuple) -> bool:
-        cached = self._cache.get(values)
-        if cached is not None:
-            return cached
-        verdict = all(self._ruled_out(occurrence, values)
-                      for occurrence in self._occurrences)
-        self._cache[values] = verdict
+        verdict = self._propagation.tuple_inert(self._packet_in_table, values)
+        if verdict:
+            self.hits += 1
+        else:
+            self.misses += 1
         return verdict
-
-    @staticmethod
-    def _ruled_out(occurrence, values: Tuple) -> bool:
-        arity, consts, conflicts, guards = occurrence
-        if arity != len(values):
-            return True
-        for column, value in consts:
-            if values[column] != value:
-                return True
-        for first, second in conflicts:
-            if values[first] != values[second]:
-                return True
-        for column, op, value, var_left in guards:
-            bound = values[column]
-            if op == "==":
-                if bound != value and bound != WILDCARD and value != WILDCARD:
-                    return True
-            else:
-                try:
-                    ok = (_compare(op, bound, value) if var_left
-                          else _compare(op, value, bound))
-                except EvaluationError:
-                    continue      # deferred by the engine too: might fire
-                if not ok:
-                    return True
-        return False
 
 
 def batch_replay_safe(program: Program, mapping,

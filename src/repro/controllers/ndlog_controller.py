@@ -361,8 +361,20 @@ class NDlogController(Controller):
             return False
         if self._inert_probe is None:
             self._inert_probe = batching.PacketInInertProbe(
-                self.program, self.mapping.packet_in_table)
+                self.program, self.mapping.packet_in_table,
+                schemas=self.engine.database.schemas(),
+                static_tuples=self.static_tuples,
+                flow_table=self.mapping.flow_table,
+                closed_world=True)
         return self._inert_probe.inert(values)
+
+    def probe_counters(self) -> Dict[str, int]:
+        """Hit/miss counters of the static inertness probe (zero until the
+        probe is first consulted); reported through ``warm_engine_stats``."""
+        if self._inert_probe is None:
+            return {"inert_probe_hits": 0, "inert_probe_misses": 0}
+        return {"inert_probe_hits": self._inert_probe.hits,
+                "inert_probe_misses": self._inert_probe.misses}
 
     def _may_memoise_empty(self) -> bool:
         """Empty responses are permanent only when PacketIns join nothing

@@ -149,12 +149,31 @@ class CandidateAborted(SessionEvent):
 
 @register_event
 @dataclass(frozen=True)
+class CandidateVetoed(SessionEvent):
+    """Static analysis rejected a candidate before any replay ran."""
+
+    kind = "candidate_vetoed"
+    description: str = ""
+    reason: str = ""
+    note: str = ""
+
+
+@register_event
+@dataclass(frozen=True)
 class WarmEngineStats(SessionEvent):
-    """Warm-path hit counters after a backtest stage (local paths only)."""
+    """Static-analysis and warm-path counters after a backtest stage.
+
+    Besides the warm-engine hit counters this carries the other two
+    "work the analysis saved" numbers: candidates vetoed before replay
+    and the inert-probe hit/miss counts of the warm controller (local
+    paths only; the fields default to zero so old wire records decode)."""
 
     kind = "warm_engine_stats"
     hits: int = 0
     fallbacks: int = 0
+    vetoed: int = 0
+    probe_hits: int = 0
+    probe_misses: int = 0
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ DEFAULT_COSTS: Dict[str, float] = {
     "change_operator": 1.6,    # == -> !=, < -> <=, ...
     "change_assignment": 1.8,  # change the expression assigned to a head var
     "delete_selection": 2.0,   # drop a condition
+    "support_tuple": 2.0,      # insert base data to let an existing rule fire
     "change_head": 2.4,        # re-target a rule head
     "delete_predicate": 2.5,   # drop a joined table
     "copy_rule": 3.0,          # copy an existing rule with modifications

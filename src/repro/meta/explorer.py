@@ -200,6 +200,8 @@ class MetaProvenanceExplorer:
         # one "manual tuple" tree, and (optionally) retargeting trees.
         for rule in self.program.rules_deriving(goal.table):
             push(0.0, ("rule", rule))
+            if rule.body:
+                push(self.cost_model.costs["support_tuple"], ("support", rule))
         push(self.cost_model.costs["insert_tuple"], ("insert", None))
         if self.enable_retarget_tasks:
             for rule in self.program.rules:
@@ -232,6 +234,9 @@ class MetaProvenanceExplorer:
             elif kind == "insert":
                 candidate = self._manual_insert_candidate(goal, stats)
                 if candidate is not None:
+                    push(candidate.cost, ("candidate", candidate))
+            elif kind == "support":
+                for candidate in self._support_insert_candidates(goal, payload):
                     push(candidate.cost, ("candidate", candidate))
             elif kind == "retarget":
                 for cand_cost, candidate in self._retarget_candidates(goal, payload, stats):
@@ -664,6 +669,42 @@ class MetaProvenanceExplorer:
         tree.completed = True
         return RepairCandidate(edits=(edit,), cost=cost, tree=tree,
                                description=f"manually insert {tup}")
+
+    def _support_insert_candidates(self, goal: MissingTupleGoal,
+                                   rule: Rule) -> List[RepairCandidate]:
+        """Standalone base-tuple insertions that give ``rule`` the support
+        it would need to derive the goal tuple.
+
+        The per-combination path only proposes an insertion when *no*
+        historical tuple matches a body atom, but historical event tuples
+        (``PacketIn``) are transient — present in the trace, absent at
+        replay setup — so "history matched" does not imply the support will
+        exist when the repaired program runs.  These candidates install the
+        support statically regardless, one body atom at a time, at a higher
+        cost than a direct goal-tuple insertion (the goal column values are
+        only indirect evidence for the body tuple's columns).
+        """
+        head_bindings = self._head_bindings(rule, goal)
+        if head_bindings is None:
+            return []
+        cost = self.cost_model.costs["support_tuple"]
+        out: List[RepairCandidate] = []
+        for atom in rule.body:
+            pattern = self._atom_pattern(atom, head_bindings)
+            tup = self._materialise_pattern(atom, pattern, goal)
+            if all(value == WILDCARD for value in tup.values):
+                continue    # no goal constant reaches this atom
+            root = MetaVertex(NEXIST, TupleMeta(NDTuple(goal.table, tuple(
+                goal.constraints_dict().get(i, WILDCARD)
+                for i in range(self._goal_arity(goal, rule))))), rule=rule.name)
+            tree = MetaTree(root, cost=cost)
+            tree.add_child(root, MetaVertex(NEXIST, BaseMeta(tup),
+                                            note="support insertion"))
+            tree.completed = True
+            out.append(RepairCandidate(
+                edits=(InsertTuple(tup),), cost=cost, tree=tree,
+                description=f"insert support tuple {tup} for rule {rule.name}"))
+        return out
 
     def _infer_table_arity(self, goal: MissingTupleGoal) -> int:
         rules = self.program.rules_deriving(goal.table)

@@ -140,11 +140,21 @@ class Atom:
         args: expressions filling the columns (usually ``Var`` or ``Const``).
         location_index: index of the argument carrying the ``@`` location
             specifier, or ``None`` if the atom has no location.
+        negated: ``True`` for a negated body atom (``!Table(...)``).  The
+            reference engine does not evaluate negation; the static analyzer
+            (:mod:`repro.analysis`) uses the flag for stratification checks.
+        line / column: 1-based source position of the atom's table name, when
+            the atom came from the parser.  Excluded from equality/repr so
+            positional metadata never influences program diffing or
+            candidate signatures.
     """
 
     table: str
     args: List[Expression]
     location_index: Optional[int] = 0
+    negated: bool = False
+    line: Optional[int] = field(default=None, compare=False, repr=False)
+    column: Optional[int] = field(default=None, compare=False, repr=False)
 
     def variables(self):
         out = set()
@@ -163,7 +173,9 @@ class Atom:
         return self.args[self.location_index]
 
     def clone(self):
-        return Atom(self.table, [a.clone() for a in self.args], self.location_index)
+        return Atom(self.table, [a.clone() for a in self.args],
+                    self.location_index, negated=self.negated,
+                    line=self.line, column=self.column)
 
     def to_ndlog(self):
         parts = []
@@ -172,7 +184,8 @@ class Atom:
             if index == self.location_index:
                 text = "@" + text
             parts.append(text)
-        return f"{self.table}({', '.join(parts)})"
+        prefix = "!" if self.negated else ""
+        return f"{prefix}{self.table}({', '.join(parts)})"
 
     def __str__(self):
         return self.to_ndlog()
@@ -249,6 +262,11 @@ class Rule:
     body: List[Atom] = field(default_factory=list)
     selections: List[Selection] = field(default_factory=list)
     assignments: List[Assignment] = field(default_factory=list)
+    #: 1-based source position of the rule name when parsed from text
+    #: (``None`` for programmatically built rules).  Excluded from equality
+    #: and repr so positions never affect program diffing.
+    line: Optional[int] = field(default=None, compare=False, repr=False)
+    column: Optional[int] = field(default=None, compare=False, repr=False)
 
     def clone(self):
         return Rule(
@@ -257,6 +275,8 @@ class Rule:
             body=[a.clone() for a in self.body],
             selections=[s.clone() for s in self.selections],
             assignments=[a.clone() for a in self.assignments],
+            line=self.line,
+            column=self.column,
         )
 
     def body_variables(self):

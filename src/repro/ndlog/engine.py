@@ -148,22 +148,28 @@ def diff_programs(old: Program, new: Program) -> Optional[ProgramDelta]:
 
 def _changed_cone(delta: ProgramDelta, old: Program, new: Program) -> Set[str]:
     """Tables whose contents can differ between the two programs: the head
-    tables of changed rules, closed transitively over both rule sets."""
-    cone: Set[str] = set()
+    tables of changed rules, closed downstream over *both* programs'
+    dependency graphs (:class:`repro.analysis.depgraph.DependencyGraph`).
+    Closing over both is required — a rule removed from ``old`` still
+    propagated its head table's contents there, and a rule added in ``new``
+    only propagates there."""
+    from ..analysis.depgraph import DependencyGraph
+
+    seeds: Set[str] = set()
     for program, names in ((old, delta.removed | delta.modified),
                            (new, delta.added | delta.modified)):
         for rule in program.rules:
             if rule.name in names:
-                cone.add(rule.head.table)
-    rules = list(old.rules) + list(new.rules)
+                seeds.add(rule.head.table)
+    graphs = (DependencyGraph(old), DependencyGraph(new))
+    cone = set(seeds)
     changed = True
     while changed:
         changed = False
-        for rule in rules:
-            if rule.head.table in cone:
-                continue
-            if any(atom.table in cone for atom in rule.body):
-                cone.add(rule.head.table)
+        for graph in graphs:
+            expanded = graph.downstream(cone)
+            if not expanded <= cone:
+                cone |= expanded
                 changed = True
     return cone
 
@@ -268,6 +274,11 @@ class _RulePlan:
 
     def __init__(self, rule: Rule):
         self.rule = rule
+        for body_atom in rule.body:
+            if body_atom.negated:
+                raise EvaluationError(
+                    f"rule {rule.name!r}: negated atom "
+                    f"!{body_atom.table} is not supported by the evaluator")
         self.atom_plans = tuple(_AtomPlan(atom, rule.head.table)
                                 for atom in rule.body)
         assigned = {a.var for a in rule.assignments}

@@ -110,7 +110,7 @@ def tokenize(source):
             tokens.append(Token("ident", source[start:index], line, column))
             column += index - start
             continue
-        if ch in _ONE_CHAR:
+        if ch in _ONE_CHAR or ch == "!":
             kind = "punct" if ch in "(),.@" else "op"
             tokens.append(Token(kind, ch, line, column))
             index += 1
@@ -142,6 +142,9 @@ class _Parser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
+            if self.tokens:
+                last = self.tokens[-1]
+                raise ParseError("unexpected end of input", last.line, last.column)
             raise ParseError("unexpected end of input")
         self.pos += 1
         return token
@@ -167,8 +170,13 @@ class _Parser:
         return Program(rules=rules, name=name)
 
     def parse_rule(self):
+        start = self._peek()
         name = self._parse_rule_name()
         head = self.parse_atom()
+        if head.negated:
+            raise ParseError(
+                f"rule head {head.table!r} must not be negated",
+                head.line or 0, head.column or 0)
         self._expect(":-")
         body, selections, assignments = [], [], []
         while True:
@@ -189,7 +197,9 @@ class _Parser:
                     token.column,
                 )
         return Rule(name=name, head=head, body=body,
-                    selections=selections, assignments=assignments)
+                    selections=selections, assignments=assignments,
+                    line=start.line if start else None,
+                    column=start.column if start else None)
 
     def _parse_rule_name(self):
         # A rule name is an identifier immediately followed by another
@@ -209,6 +219,10 @@ class _Parser:
         return f"r{self.anonymous_counter}"
 
     def parse_atom(self):
+        negated = False
+        if self._at("!"):
+            self._next()
+            negated = True
         table_token = self._next()
         if table_token.kind != "ident":
             raise ParseError(
@@ -230,12 +244,19 @@ class _Parser:
                     continue
                 break
         self._expect(")")
-        return Atom(table_token.text, args, location_index=location_index)
+        return Atom(table_token.text, args, location_index=location_index,
+                    negated=negated, line=table_token.line,
+                    column=table_token.column)
 
     def _parse_term(self):
-        # Body atom: ident "(" ...
+        # Negated body atom: "!" ident "(" ...
         token = self._peek()
         nxt = self._peek(1)
+        after = self._peek(2)
+        if (token is not None and token.text == "!" and nxt is not None
+                and nxt.kind == "ident" and after is not None and after.text == "("):
+            return self.parse_atom()
+        # Body atom: ident "(" ...
         if token is not None and token.kind == "ident" and nxt is not None and nxt.text == "(":
             # Distinguish function-call selections (f_match(...) == True) from
             # atoms by looking for a trailing comparison operator; plain

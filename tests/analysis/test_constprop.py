@@ -1,0 +1,156 @@
+"""Constant propagation: multi-atom inertness proofs and their limits.
+
+The first half checks the proofs the vetter relies on — each scenario has
+known provably-inert insertions (these are exactly the explorer candidates
+the backtesters veto).  The second half checks the guard rails: the
+analysis must stay silent (return ``None``/``False``) whenever an insert
+*could* matter — flow tuples, derivable tuples, primary-key collisions,
+open-world callers.
+"""
+
+import pytest
+
+from repro.analysis import ConstantPropagation
+from repro.ndlog.parser import parse_program
+from repro.ndlog.tuples import NDTuple, TableSchema
+
+from analysis_helpers import scenario_and_candidates
+
+
+def propagation_for(scenario, closed_world=True):
+    mapping = scenario.mapping
+    return ConstantPropagation(
+        scenario.program,
+        schemas={schema.name: schema for schema in scenario.schemas()},
+        static_tuples=scenario.static_tuples,
+        event_tables={mapping.packet_in_table},
+        flow_table=mapping.flow_table,
+        closed_world=closed_world)
+
+
+#: (scenario, table, values, reason) — the provably inert insertions the
+#: explorer actually proposes at the shared candidate budget.
+INERT_INSERTS = [
+    ("Q1", "PacketIn", ("*", 3, "*", 80), "guard-refuted"),
+    ("Q1", "WebLoadBalancer", ("*", "*", 2), "join-impossible"),
+    ("Q2", "PacketIn", ("*", 5, 6, 53), "guard-refuted"),
+    ("Q3", "PacketIn", ("*", 7, 3, 80), "guard-refuted"),
+    ("Q4", "PacketOut", (8, "*"), "unconsumed-table"),
+    ("Q5", "Learned", ("*", 9, 21, 5), "join-impossible"),
+]
+
+#: Insertions that could plausibly matter — the analysis must not claim
+#: inertness for any of them.
+LIVE_INSERTS = [
+    ("Q1", "PacketIn", ("*", 3, "*", "*")),     # Hdr wildcard may match 80
+    ("Q4", "PacketIn", ("*", 8, "*", "*")),
+    ("Q5", "PacketIn", ("*", 9, "*", "*", "*")),
+]
+
+
+@pytest.mark.parametrize("name, table, values, reason", INERT_INSERTS,
+                         ids=lambda v: str(v))
+def test_known_inert_insertions(name, table, values, reason):
+    scenario, _ = scenario_and_candidates(name)
+    propagation = propagation_for(scenario)
+    assert propagation.insert_inert(NDTuple(table, values)) == reason
+
+
+@pytest.mark.parametrize("name, table, values", LIVE_INSERTS,
+                         ids=lambda v: str(v))
+def test_live_insertions_are_not_claimed_inert(name, table, values):
+    scenario, _ = scenario_and_candidates(name)
+    propagation = propagation_for(scenario)
+    assert propagation.insert_inert(NDTuple(table, values)) is None
+
+
+def test_flow_table_inserts_are_never_inert():
+    scenario, _ = scenario_and_candidates("Q1")
+    propagation = propagation_for(scenario)
+    flow = scenario.mapping.flow_table
+    # Even a tuple no rule could ever read: flow tuples are pushed to the
+    # switches at on_start, outside rule evaluation.
+    assert propagation.insert_inert(
+        NDTuple(flow, (99, 99, 99, 99))) is None
+
+
+def test_open_world_disables_static_join_proofs():
+    # The static-join proof enumerates the complete Acl extent; a caller
+    # that may insert base tuples at runtime (closed_world=False) loses it.
+    program = parse_program(
+        "r1 Out(@Swi) :- Req(@Swi, Sip), Acl(@Swi, Sip).")
+    acl = [NDTuple("Acl", (1, 10))]
+    req = NDTuple("Req", (2, 20))
+    closed = ConstantPropagation(program, static_tuples=acl)
+    open_ = ConstantPropagation(program, static_tuples=acl,
+                                closed_world=False)
+    assert closed.enumerable("Acl")
+    assert closed.insert_inert(req) == "join-impossible"
+    assert not open_.enumerable("Acl")
+    assert open_.insert_inert(req) is None
+
+
+def test_scenario_join_proofs_survive_open_world():
+    # Q5's Learned proof rests on the event-table wildcard axiom (PacketIn
+    # tuples are built from concrete packet data), not on enumeration — it
+    # must hold for open-world callers such as the bare probe.
+    scenario, _ = scenario_and_candidates("Q5")
+    open_ = propagation_for(scenario, closed_world=False)
+    assert open_.insert_inert(
+        NDTuple("Learned", ("*", 9, 21, 5))) == "join-impossible"
+
+
+def test_event_tuples_are_never_wildcard():
+    scenario, _ = scenario_and_candidates("Q1")
+    propagation = propagation_for(scenario)
+    packet_in = scenario.mapping.packet_in_table
+    for column in range(4):
+        assert propagation.never_wildcard(packet_in, column)
+
+
+def test_derivable_tuple_is_not_inert():
+    # Out is unconsumed, but r1 can derive Out(Swi, 7) at runtime; a
+    # pre-inserted copy would change the derivation delta.
+    program = parse_program(
+        "r1 Out(@Swi, Prt) :- PacketIn(@C, Swi, Sip, Hdr), "
+        "Hdr == 99, Prt := 7.")
+    propagation = ConstantPropagation(program, event_tables={"PacketIn"})
+    assert propagation.insert_inert(NDTuple("Out", (5, 7))) is None
+
+
+def test_primary_key_collision_is_not_inert():
+    # Seen is unconsumed and underivable, but inserting a tuple whose key
+    # collides with existing setup data would *replace* that tuple.
+    program = parse_program(
+        "r1 Out(@Swi) :- PacketIn(@C, Swi, Sip, Hdr).")
+    schema = TableSchema("Seen", ("Swi", "Prt"), primary_key=("Swi",))
+    existing = NDTuple("Seen", (5, 80))
+    propagation = ConstantPropagation(
+        program, schemas={"Seen": schema}, static_tuples=[existing],
+        event_tables={"PacketIn"})
+    assert propagation.insert_inert(NDTuple("Seen", (5, 443))) is None
+    # A fresh key cannot evict anything: inert.
+    assert propagation.insert_inert(
+        NDTuple("Seen", (6, 443))) == "unconsumed-table"
+    # Re-inserting the existing tuple exactly is also inert (set semantics).
+    assert propagation.insert_inert(existing) == "unconsumed-table"
+
+
+def test_guard_refutation_respects_engine_deferral():
+    # Selections over assigned variables and raising comparisons are
+    # deferred by the engine — the analysis must treat them as "might fire".
+    program = parse_program(
+        "r1 Out(@Swi, Prt) :- PacketIn(@C, Swi, Sip, Hdr), "
+        "Prt > 1, Prt := 2.")
+    propagation = ConstantPropagation(program, event_tables={"PacketIn"})
+    # Prt is assigned, so Prt > 1 must not refute statically.
+    assert propagation.tuple_inert("PacketIn", ("C", 1, 2, 80)) is False
+
+
+def test_ordered_comparison_against_wildcard_refutes():
+    # The engine evaluates '*' < constant as False (wildcards fail ordered
+    # comparisons), so a wildcard binding refutes the guard.
+    program = parse_program(
+        "r1 Out(@Swi) :- Req(@Swi, Sip), Sip < 6.")
+    propagation = ConstantPropagation(program)
+    assert propagation.tuple_inert("Req", (1, "*")) is True

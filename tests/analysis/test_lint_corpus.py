@@ -1,0 +1,69 @@
+"""The committed broken-program corpus: every file must produce findings.
+
+Each ``broken_programs/*.ndlog`` file exhibits one finding class the
+analyzer must catch — unsafe variables, unstratified negation, arity
+mismatches, type clashes, duplicate (no-op) rules.  The corpus is the
+negative half of the lint gate: scenarios lint clean, these never do.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.cli import main
+from repro.ndlog.parser import parse_program
+
+CORPUS = pathlib.Path(__file__).parent / "broken_programs"
+
+#: file -> the finding code that file was written to trigger.
+EXPECTED_CODES = {
+    "unsafe_assignment.ndlog": "unsafe-variable",
+    "unsafe_head.ndlog": "unsafe-variable",
+    "unsafe_selection.ndlog": "unsafe-variable",
+    "unsafe_negation.ndlog": "unsafe-negation",
+    "unstratified_negation.ndlog": "unstratified-negation",
+    "self_negation.ndlog": "unstratified-negation",
+    "stratified_negation.ndlog": "negation-unsupported",
+    "arity_mismatch.ndlog": "arity-inconsistent",
+    "head_arity_vs_schema.ndlog": "arity-inconsistent",
+    "type_clash.ndlog": "type-clash",
+    "duplicate_rule.ndlog": "duplicate-rule",
+}
+
+
+def corpus_files():
+    return sorted(CORPUS.glob("*.ndlog"))
+
+
+def test_corpus_is_big_enough():
+    assert len(corpus_files()) >= 10
+
+
+def test_every_corpus_file_has_an_expectation():
+    assert {path.name for path in corpus_files()} == set(EXPECTED_CODES)
+
+
+@pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+def test_corpus_file_produces_expected_finding(path):
+    program = parse_program(path.read_text(), name=path.name)
+    findings = lint_program(program)
+    assert findings, f"{path.name} should not lint clean"
+    assert EXPECTED_CODES[path.name] in {f.code for f in findings}
+
+
+@pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.name)
+def test_corpus_findings_carry_source_positions(path):
+    program = parse_program(path.read_text(), name=path.name)
+    for finding in lint_program(program):
+        assert finding.line is not None and finding.line >= 1
+        assert finding.column is not None and finding.column >= 1
+        assert finding.render(path.name).startswith(
+            f"{path.name}:{finding.line}:{finding.column}: ")
+
+
+def test_cli_lint_flags_every_corpus_file(capsys):
+    for path in corpus_files():
+        assert main(["lint", str(path), "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert path.name in out

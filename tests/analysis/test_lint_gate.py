@@ -1,0 +1,43 @@
+"""Tier-1 lint gate: every registered scenario's program lints clean.
+
+The ground-truth Q1-Q5 programs (with their schemas and static base data)
+must produce zero findings — through the library entry point and through
+``repro lint`` — so a rule or scenario edit that introduces an unsafe
+variable, arity drift, or a duplicate rule fails the suite.  CI runs the
+same CLI gate.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_scenario
+from repro.cli import main
+from repro.scenarios import SCENARIO_BUILDERS, build_scenario
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_scenario_lints_clean(name):
+    findings = lint_scenario(build_scenario(name))
+    assert findings == [], [f.render(name) for f in findings]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_cli_lint_gate(name, capsys):
+    assert main(["lint", name, "--json"]) == 0
+    wire = json.loads(capsys.readouterr().out)
+    assert wire["clean"] is True
+    assert wire["findings"] == []
+
+
+def test_cli_lint_unknown_file_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "missing.ndlog")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_lint_parse_error_reports_position(tmp_path, capsys):
+    source = tmp_path / "bad.ndlog"
+    source.write_text("r1 FlowTable(@Swi :- nothing\n")
+    assert main(["lint", str(source)]) == 2
+    err = capsys.readouterr().err
+    assert f"{source}:1:" in err and "(parse)" in err

@@ -25,7 +25,7 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 3
+    assert payload["schema_version"] == 4
     assert payload["smoke"] is True
 
     engine = payload["engine"]
@@ -69,3 +69,12 @@ def test_baseline_harness_smoke(tmp_path):
         assert row["per_candidate_speedup"] > 1.0
         assert row["warm_fallbacks"] == 0
     assert reference["warm_vs_cold"]["candidates"] == 3
+
+    # Schema v4: the static-vetting row.  The deep Q1 candidate set must
+    # contain vetoable candidates, and vetting must only remove replays —
+    # the harness itself asserts verdict parity with vetting off.
+    vet = payload["static_vet"]
+    assert vet["vetoed"] > 0
+    assert vet["replayed_with_vet"] == vet["candidates"] - vet["vetoed"]
+    assert vet["replayed_without_vet"] == vet["candidates"]
+    assert vet["seconds_with_vet"] > 0 and vet["seconds_without_vet"] > 0

@@ -1,0 +1,72 @@
+"""Support-tuple insertion proposals from the meta-provenance explorer.
+
+For each rule that could derive the missing goal, the explorer proposes
+standalone base-data insertions for the rule's body atoms: the pattern
+carries the head bindings plus the atom's own constants, with wildcards
+elsewhere.  Historical event tuples are transient, so a history match does
+not imply replay-time support — the proposals exist so the backtest (or
+the static vetter) can judge them.
+"""
+
+from repro.meta.costs import CostModel
+from repro.meta.explorer import MetaProvenanceExplorer
+from repro.ndlog.tuples import NDTuple
+from repro.repair import InsertTuple
+from repro.scenarios import build_scenario
+
+
+def explore(name, max_candidates=25):
+    scenario = build_scenario(name)
+    explorer = MetaProvenanceExplorer(
+        scenario.program, scenario.history_index(),
+        max_candidates=max_candidates)
+    return explorer.explore_missing(scenario.goal()).candidates
+
+
+def support_candidates(candidates):
+    return [c for c in candidates
+            if c.description.startswith("insert support tuple")]
+
+
+def test_q1_support_inserts_materialise():
+    candidates = explore("Q1")
+    supports = support_candidates(candidates)
+    inserted = {edit.tuple for c in supports for edit in c.edits}
+    # Goal FlowTable(3, 80, 2) through r1: the event atom with the head's
+    # switch/port bindings, and the load-balancer atom with its constant.
+    assert NDTuple("PacketIn", ("*", 3, "*", 80)) in inserted
+    assert NDTuple("WebLoadBalancer", ("*", "*", 2)) in inserted
+
+
+def test_support_inserts_cost_and_shape():
+    cost = CostModel().costs["support_tuple"]
+    assert cost == 2.0
+    for name in ("Q1", "Q2", "Q3", "Q5"):
+        supports = support_candidates(explore(name))
+        assert supports, name
+        for candidate in supports:
+            assert candidate.cost == cost
+            assert len(candidate.edits) == 1
+            edit = candidate.edits[0]
+            assert isinstance(edit, InsertTuple)
+            # All-wildcard patterns are pruned at generation time.
+            assert any(value != "*" for value in edit.tuple.values)
+            assert candidate.tree is not None and candidate.tree.completed
+
+
+def test_support_inserts_respect_cost_order():
+    candidates = explore("Q1")
+    costs = [candidate.cost for candidate in candidates]
+    assert costs == sorted(costs)
+    # Every cheaper single-edit repair still ranks above the support
+    # insertions…
+    supports = support_candidates(candidates)
+    assert supports
+    first_support = min(candidates.index(c) for c in supports)
+    assert all(candidates[i].cost <= 2.0 for i in range(first_support))
+
+
+def test_small_budgets_exclude_support_inserts():
+    # The candidate heap pops strictly by cost: a budget exhausted by
+    # cheaper edits never reaches the cost-2.0 support proposals.
+    assert support_candidates(explore("Q1", max_candidates=9)) == []

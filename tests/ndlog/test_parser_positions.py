@@ -1,0 +1,73 @@
+"""Source positions on the parsed AST, and negation syntax.
+
+Positions feed the lint findings (``file:line:col``); they are carried as
+non-comparing fields so structural rule equality — which the rule-delta
+machinery depends on — is unaffected by formatting.
+"""
+
+import pytest
+
+from repro.ndlog.errors import ParseError
+from repro.ndlog.parser import parse_program
+
+SOURCE = """\
+// the happy path
+r1 FlowTable(@Swi, Sip, Hdr, Prt) :- PacketIn(@C, Swi, Sip, Hdr),
+   WebLoadBalancer(@Swi, Dip, Prt), Hdr == 80.
+
+r2 Out(@Swi) :- FlowTable(@Swi, Sip, Hdr, Prt).
+"""
+
+
+def test_rule_positions():
+    program = parse_program(SOURCE)
+    r1, r2 = program.rules
+    assert (r1.line, r1.column) == (2, 1)
+    assert r2.line == 5
+
+
+def test_atom_positions_point_at_table_names():
+    program = parse_program(SOURCE)
+    r1 = program.rules[0]
+    assert (r1.head.line, r1.head.column) == (2, 4)
+    packet_in, wlb = r1.body
+    assert packet_in.line == 2
+    assert packet_in.column == SOURCE.splitlines()[1].index("PacketIn") + 1
+    assert (wlb.line, wlb.column) == (3, 4)
+
+
+def test_positions_do_not_affect_equality():
+    # Same rules, different layout: structural equality must hold (the
+    # rule-delta eligibility check diffs rules across reformatted sources).
+    reformatted = "\n\n" + SOURCE.replace("\n   ", " ")
+    a = parse_program(SOURCE)
+    b = parse_program(reformatted)
+    assert a.rules == b.rules
+    assert a.rules[0].line != b.rules[0].line
+
+
+def test_clone_preserves_positions():
+    rule = parse_program(SOURCE).rules[0]
+    clone = rule.clone()
+    assert (clone.line, clone.column) == (rule.line, rule.column)
+    assert clone.head.line == rule.head.line
+    assert [a.line for a in clone.body] == [a.line for a in rule.body]
+
+
+def test_parse_error_carries_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_program("r1 FlowTable(@Swi :- nothing\n")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column >= 1
+
+
+def test_negated_atom_round_trips():
+    program = parse_program(
+        "a1 Allowed(@Swi, Sip) :- Request(@Swi, Sip), !Blocked(@Swi, Sip).")
+    rule = program.rules[0]
+    blocked = rule.body[1]
+    assert blocked.negated
+    assert not rule.body[0].negated
+    rendered = rule.to_ndlog()
+    assert "!Blocked(@Swi, Sip)" in rendered
+    assert parse_program(rendered).rules[0] == rule
