@@ -9,8 +9,15 @@ have a trajectory to compare against::
 
 Measured workloads:
 
-* ``engine.join_insert`` / ``engine.delete`` — the indexed engine vs the
-  scan-based oracle (same workloads as ``bench_engine_micro.py``);
+* ``engine.join_insert`` (quiet, the backtest-worker configuration and the
+  primary tracked number), ``engine.join_insert_recorded`` (events on) and
+  ``engine.delete`` — the indexed engine vs the scan-based oracle (same
+  workloads as ``bench_engine_micro.py``);
+* ``engine.rule_scaling_N`` — Figure 10-style N-rule programs (schema v5):
+  insert throughput under a wide rule set, plus the cold-vs-warm engine
+  build split that measures what the shared rule-plan cache saves when a
+  second engine (a repair candidate) compiles the same rules, with the
+  plan-cache hit/miss counters recorded;
 * ``fig9b.*`` — backtesting the Q1 candidate set under every pipeline mode:
   ``sequential`` (per-candidate replay, warm engine switching),
   ``sequential_cold`` (per-candidate cold rebuild — the warm/cold
@@ -60,22 +67,29 @@ for path in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
 from bench_engine_micro import (  # noqa: E402
     BENCH_DELETE_SIZE,
     BENCH_JOIN_SIZE,
+    BENCH_RULE_SCALES,
+    RULE_SCALING_INSERTS,
     SMOKE_DELETE_SIZE,
     SMOKE_JOIN_SIZE,
+    SMOKE_RULE_SCALE,
+    SMOKE_RULE_SCALING_INSERTS,
     run_delete_workload,
     run_insert_workload,
+    run_insert_workload_quiet,
+    run_rule_scaling_workload,
 )
 
 from repro.backtest import Backtester, MultiQueryBacktester  # noqa: E402
 from repro.backtest.replay import WarmEvaluationState, fork_available  # noqa: E402
 from repro.distrib import Scheduler  # noqa: E402
 from repro.ndlog import Engine, NaiveEngine  # noqa: E402
+from repro.ndlog.plan import PLAN_CACHE  # noqa: E402
 from repro.repair import ChangeConstant, DeleteSelection, RepairCandidate  # noqa: E402
 from repro.repair.apply import apply_candidate  # noqa: E402
 from repro.scenarios import build_scenario  # noqa: E402
 from repro.sdn.network import NetworkSimulator  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -103,13 +117,48 @@ def _diagnosed_candidates(count: int) -> List[RepairCandidate]:
     return report.exploration.candidates[:count]
 
 
-def bench_engine(join_size: int, delete_size: int) -> Dict:
+#: Repetitions per engine micro row; the recorded value is the minimum.
+ENGINE_REPEATS = 3
+
+
+def _measure(runner, engine_cls, size, repeats: int = ENGINE_REPEATS):
+    """Best-of-``repeats`` with the GC paused during the timed region.
+
+    The engine micro rows are single-digit milliseconds, where a collector
+    pause or a scheduler preemption inside one run dwarfs the workload;
+    the minimum over a few GC-free runs is the stable, comparable number.
+    """
+    import gc
+    timings = []
+    result = None
+    for rep in range(repeats):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            elapsed, rep_result = runner(engine_cls, size)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        timings.append(elapsed)
+        assert result is None or rep_result == result, \
+            "engine workload was not deterministic across repetitions"
+        result = rep_result
+    return min(timings), result
+
+
+def bench_engine(join_size: int, delete_size: int,
+                 rule_scales=BENCH_RULE_SCALES,
+                 rule_inserts: int = RULE_SCALING_INSERTS) -> Dict:
     out: Dict[str, Dict] = {}
+    # join_insert (quiet) is the primary tracked row: record_events=False is
+    # how backtest workers run the engine.  The recorded companion row keeps
+    # the event-log overhead visible as its own trajectory.
     for label, runner, size in (
-            ("join_insert", run_insert_workload, join_size),
+            ("join_insert", run_insert_workload_quiet, join_size),
+            ("join_insert_recorded", run_insert_workload, join_size),
             ("delete", run_delete_workload, delete_size)):
-        indexed_elapsed, indexed_result = runner(Engine, size)
-        naive_elapsed, naive_result = runner(NaiveEngine, size)
+        indexed_elapsed, indexed_result = _measure(runner, Engine, size)
+        naive_elapsed, naive_result = _measure(runner, NaiveEngine, size)
         assert indexed_result == naive_result, \
             f"engine workload {label} diverged from the oracle"
         out[label] = {
@@ -118,6 +167,45 @@ def bench_engine(join_size: int, delete_size: int) -> Dict:
             "naive_seconds": naive_elapsed,
             "speedup": naive_elapsed / indexed_elapsed if indexed_elapsed
             else None,
+        }
+    # Figure 10-style rule scaling.  Engine-only (the naive oracle recomputes
+    # the full fixpoint per insert, which is prohibitive at 1000 rules); the
+    # cold/warm split re-builds the same program twice and the derived-set
+    # identity check plus the plan-cache counters pin the cache semantics.
+    for rules in rule_scales:
+        cold_builds, warm_builds, insert_timings = [], [], []
+        hits = misses = 0
+        for _rep in range(ENGINE_REPEATS):
+            PLAN_CACHE.clear()
+            cold_build, rep_insert, cold_derived = run_rule_scaling_workload(
+                Engine, rules, rule_inserts)
+            before = PLAN_CACHE.stats()
+            warm_build, _warm_insert, warm_derived = \
+                run_rule_scaling_workload(Engine, rules, rule_inserts)
+            after = PLAN_CACHE.stats()
+            assert cold_derived == warm_derived, \
+                f"rule_scaling_{rules}: warm rebuild diverged from cold"
+            hits = after["hits"] - before["hits"]
+            misses = after["misses"] - before["misses"]
+            assert hits == rules and misses == 0, \
+                f"rule_scaling_{rules}: expected a fully warm plan cache, " \
+                f"got {hits} hits / {misses} misses"
+            cold_builds.append(cold_build)
+            warm_builds.append(warm_build)
+            insert_timings.append(rep_insert)
+        cold_build = min(cold_builds)
+        warm_build = min(warm_builds)
+        insert_seconds = min(insert_timings)
+        out[f"rule_scaling_{rules}"] = {
+            "rules": rules,
+            "inserts": rule_inserts,
+            "insert_seconds": insert_seconds,
+            "cold_build_seconds": cold_build,
+            "warm_build_seconds": warm_build,
+            "build_speedup": (cold_build / warm_build if warm_build
+                              else None),
+            "plan_cache_hits": hits,
+            "plan_cache_misses": misses,
         }
     return out
 
@@ -377,7 +465,9 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
         }
     scenario = build_scenario("Q1", repetitions=1)
     candidates = _smoke_candidates()
-    engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE)
+    engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE,
+                          rule_scales=(SMOKE_RULE_SCALE,),
+                          rule_inserts=SMOKE_RULE_SCALING_INSERTS)
     backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold)
     started = time.perf_counter()
     report = backtester.evaluate_all(candidates)
@@ -403,7 +493,9 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
     if smoke:
         scenario = build_scenario("Q1", repetitions=1)
         candidates = _smoke_candidates()
-        engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE)
+        engine = bench_engine(SMOKE_JOIN_SIZE, SMOKE_DELETE_SIZE,
+                              rule_scales=(SMOKE_RULE_SCALE,),
+                              rule_inserts=SMOKE_RULE_SCALING_INSERTS)
         batch_size = 8
     else:
         scenario = build_scenario("Q1", repetitions=10)
@@ -463,6 +555,13 @@ def main(argv=None) -> int:
     print(f"wrote {args.output}")
     print(f"{'workload':>24} {'seconds':>10}")
     for label, entry in payload["engine"].items():
+        if label.startswith("rule_scaling_"):
+            print(f"{'engine.' + label:>24} {entry['insert_seconds']:>10.4f} "
+                  f"(cold build {entry['cold_build_seconds']:.4f}, warm "
+                  f"{entry['warm_build_seconds']:.4f}, "
+                  f"{entry['build_speedup']:.1f}x, "
+                  f"{entry['plan_cache_hits']} plan hits)")
+            continue
         print(f"{'engine.' + label:>24} {entry['indexed_seconds']:>10.4f} "
               f"(naive {entry['naive_seconds']:.4f}, "
               f"{entry['speedup']:.1f}x)")

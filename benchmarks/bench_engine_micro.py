@@ -2,14 +2,21 @@
 
 The indexed/incremental engine (:class:`repro.ndlog.Engine`) is compared
 against the scan-based reference evaluator (:class:`repro.ndlog.NaiveEngine`)
-on three workloads:
+on these workloads:
 
 * **join/insert** — a two-atom join where every trigger probes a selective
   index bucket (the naive engine copies and scans the whole opposite table
-  per insertion, O(n^2) overall);
+  per insertion, O(n^2) overall).  The *quiet* variant
+  (``record_events=False``) is the backtest-worker configuration and the
+  primary tracked number; the recorded variant pays the event log and
+  derivation history on top;
 * **delete** — retracting base tuples one by one (the naive engine recomputes
   the entire derived set per retraction, the indexed engine underives only
-  the downstream cone).
+  the downstream cone);
+* **rule scaling** — a Figure 10-style program of N selective rules over one
+  trigger table.  Insert throughput exercises the per-trigger plan sweep,
+  and the cold/warm build split measures what the shared plan cache saves
+  when a second engine (a repair candidate) compiles the same rules.
 
 The helpers are imported by ``tests/ndlog/test_engine_micro_smoke.py``, which
 runs them at small sizes on every test run so perf regressions in the engine
@@ -38,6 +45,13 @@ BENCH_DELETE_SIZE = 250
 SMOKE_JOIN_SIZE = 120
 SMOKE_DELETE_SIZE = 60
 
+#: Rule counts for the Figure 10-style scaling rows, plus the insert count
+#: each row replays (every insert sweeps all consuming rule plans).
+BENCH_RULE_SCALES = (300, 1000)
+RULE_SCALING_INSERTS = 200
+SMOKE_RULE_SCALE = 60
+SMOKE_RULE_SCALING_INSERTS = 40
+
 
 def join_workload(n: int) -> List[NDTuple]:
     """n S-tuples followed by n R-tuples; each R joins exactly one S."""
@@ -46,18 +60,59 @@ def join_workload(n: int) -> List[NDTuple]:
     return tuples
 
 
-def run_insert_workload(engine_cls, n: int) -> Tuple[float, frozenset]:
+def run_insert_workload(engine_cls, n: int,
+                        record_events: bool = True) -> Tuple[float, frozenset]:
     """Insert the join workload one tuple at a time (the controller pattern).
 
     Returns (elapsed seconds, derived tuple set) so callers can both time the
     run and check the two engines agree.
     """
-    engine = engine_cls(parse_program(JOIN_PROGRAM))
+    engine = engine_cls(parse_program(JOIN_PROGRAM),
+                        record_events=record_events)
     started = time.perf_counter()
     for tup in join_workload(n):
         engine.insert(tup)
     elapsed = time.perf_counter() - started
     return elapsed, frozenset(engine.database.derived_tuples())
+
+
+def run_insert_workload_quiet(engine_cls, n: int) -> Tuple[float, frozenset]:
+    """The join workload with ``record_events=False`` — how backtest workers
+    actually run the engine, and the primary tracked ``join_insert`` row."""
+    return run_insert_workload(engine_cls, n, record_events=False)
+
+
+def rule_scaling_program(rules: int) -> str:
+    """Figure 10-style program: ``rules`` selective rules, one trigger table.
+
+    Every ``In`` insertion sweeps all compiled plans (one per rule); the
+    constant selections keep the fired set small, so the row isolates the
+    per-rule dispatch overhead the paper's Figure 10 scales.
+    """
+    return "\n".join(
+        f"r{index} Out(@X, P) :- In(@X, S, P), S == {index}."
+        for index in range(rules))
+
+
+def run_rule_scaling_workload(engine_cls, rules: int, inserts: int,
+                              ) -> Tuple[float, float, frozenset]:
+    """Build a ``rules``-rule engine, then insert ``inserts`` triggers.
+
+    Returns ``(build_seconds, insert_seconds, derived)``.  The build time
+    includes parsing and rule-plan lookup; with a primed plan cache
+    (a second engine over the same rules — the repair-candidate pattern)
+    it collapses to the parse cost.
+    """
+    started = time.perf_counter()
+    engine = engine_cls(parse_program(rule_scaling_program(rules)),
+                        record_events=False)
+    build = time.perf_counter() - started
+    work = [make_tuple("In", "n1", i % rules, i) for i in range(inserts)]
+    started = time.perf_counter()
+    for tup in work:
+        engine.insert(tup)
+    elapsed = time.perf_counter() - started
+    return build, elapsed, frozenset(engine.database.derived_tuples())
 
 
 def run_delete_workload(engine_cls, n: int) -> Tuple[float, frozenset]:

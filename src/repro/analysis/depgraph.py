@@ -105,6 +105,7 @@ class DependencyGraph:
                 self._predecessors.setdefault(head, set()).add(atom.table)
                 self._consuming_rules.setdefault(atom.table, []).append(rule)
         self._sccs: Optional[List[FrozenSet[str]]] = None
+        self._scc_index: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -204,11 +205,20 @@ class DependencyGraph:
         self._sccs = result
         return result
 
+    def scc_index(self) -> Dict[str, int]:
+        """Map each table to the position of its SCC in :meth:`sccs`."""
+        if self._scc_index is None:
+            self._scc_index = {}
+            for number, component in enumerate(self.sccs()):
+                for table in component:
+                    self._scc_index[table] = number
+        return self._scc_index
+
     def scc_of(self, table: str) -> FrozenSet[str]:
-        for component in self.sccs():
-            if table in component:
-                return component
-        return frozenset({table})
+        number = self.scc_index().get(table)
+        if number is None:
+            return frozenset({table})
+        return self.sccs()[number]
 
     def recursive_tables(self) -> Set[str]:
         """Tables involved in recursion (multi-node SCC or a self-loop)."""
@@ -254,23 +264,42 @@ class DependencyGraph:
         """
         if not self.is_stratified():
             return None
-        component_of: Dict[str, int] = {}
-        for number, component in enumerate(self.sccs()):
-            for table in component:
-                component_of[table] = number
+        component_of = self.scc_index()
+        components = self.sccs()
+        edges_into: Dict[int, List[DependencyEdge]] = {}
+        for edge in self.edges:
+            edges_into.setdefault(component_of[edge.target], []).append(edge)
         strata: Dict[str, int] = {table: 0 for table in self.nodes}
         # ``sccs()`` is reverse-topological (dependencies first), so one pass
         # in that order propagates maxima correctly.
-        for component in self.sccs():
-            for edge in self.edges:
-                if edge.target not in component:
-                    continue
+        for number, component in enumerate(components):
+            for edge in edges_into.get(number, ()):
                 bump = 1 if edge.restricted else 0
                 candidate = strata[edge.source] + bump
-                for member in self.scc_of(edge.target):
+                for member in component:
                     if candidate > strata[member]:
                         strata[member] = candidate
         return strata
+
+    def evaluation_groups(self) -> List[Tuple[FrozenSet[str], int]]:
+        """SCC groups in bulk-evaluation order: ``(tables, stratum)``.
+
+        Groups come out dependency-first — the topological order of the SCC
+        condensation (:meth:`sccs` emits the reverse) — which is exactly the
+        order a stratum-by-stratum evaluation needs: every dependency edge,
+        negative or positive, crosses forward, so each group sees its
+        producers fully evaluated before it runs.  The stratum is attached
+        as metadata (0 for every group of an unstratifiable program).
+        """
+        strata = self.strata()
+        groups = []
+        for component in reversed(self.sccs()):
+            if strata is None:
+                stratum = 0
+            else:
+                stratum = strata[next(iter(component))]
+            groups.append((component, stratum))
+        return groups
 
     # ------------------------------------------------------------------
     # Lint pass

@@ -97,11 +97,14 @@ class BacktestStage(Stage):
     requires = ("exploration",)
 
     def run(self, session):
+        from ..ndlog.plan import PLAN_CACHE
+
         config = session.config
         backtester = config.make_backtester(session.scenario)
         session.backtester = backtester
         candidates = session.artifacts["exploration"].candidates
         scheduler = config.make_scheduler(events=session.events)
+        plan_cache_before = PLAN_CACHE.stats()
         try:
             if scheduler is not None:
                 # The coordinator publishes BacktestProgress itself.
@@ -124,15 +127,22 @@ class BacktestStage(Stage):
                                  if result.candidate else ""),
                     reason=reason, note=note))
         probes = backtester.probe_counters()
+        plan_cache_after = PLAN_CACHE.stats()
+        plan_hits = plan_cache_after["hits"] - plan_cache_before["hits"]
+        plan_misses = (plan_cache_after["misses"]
+                       - plan_cache_before["misses"])
         if (backtester.warm_hits or backtester.warm_fallbacks
                 or backtester.vetoed
-                or probes["inert_probe_hits"] or probes["inert_probe_misses"]):
+                or probes["inert_probe_hits"] or probes["inert_probe_misses"]
+                or plan_hits or plan_misses):
             session.events.emit(WarmEngineStats(
                 hits=backtester.warm_hits,
                 fallbacks=backtester.warm_fallbacks,
                 vetoed=backtester.vetoed,
                 probe_hits=probes["inert_probe_hits"],
-                probe_misses=probes["inert_probe_misses"]))
+                probe_misses=probes["inert_probe_misses"],
+                plan_cache_hits=plan_hits,
+                plan_cache_misses=plan_misses))
         return report
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ndlog.ast import Program
+from ..ndlog.engine import data_edit_eligible
 from ..repair.apply import RepairedProgram, apply_candidate
 from ..repair.candidates import RepairCandidate
 from ..sdn.network import NetworkSimulator, TrafficStats
@@ -109,6 +110,7 @@ class WarmEvaluationState:
         self.controller = scenario.build_controller(program=None)
         self.engine = self.controller.engine
         self.checkpoint = self.engine.checkpoint()
+        self._schemas = {schema.name: schema for schema in scenario.schemas()}
         self.topology = scenario.build_topology()
         self.simulator = NetworkSimulator(
             self.topology, self.controller,
@@ -118,27 +120,55 @@ class WarmEvaluationState:
     def prepare_controller(self, repaired: RepairedProgram):
         """Restore + rule-delta switch; the warm controller, or ``None``.
 
-        Data edits are rejected here: the cold path folds inserted/removed
-        tuples into the static fixpoint, whose interaction with update
-        semantics the delta machinery does not reproduce.  Rule-delta
+        Data edits (inserted/removed base tuples) ride the warm path too:
+        after the rule delta, removed tuples are retracted through the DRed
+        machinery and inserted tuples run an incremental fixpoint — the same
+        final state the cold path reaches by folding the edits into the
+        static list before its from-scratch fixpoint.  That equivalence is
+        order-dependent for keyed tables, so edits whose downstream cone
+        (over both programs' graphs) touches a primary-key table fall back
+        cold (:func:`repro.ndlog.engine.data_edit_eligible`).  Rule-delta
         eligibility is not pre-checked — ``apply_program_delta`` performs
         that analysis on its single program diff and raises for ineligible
         deltas, which (like any mid-delta failure, e.g. a repair deriving
         schema-violating tuples) rewinds the journal and falls back; the
         cold path then surfaces whatever the real error is.
         """
-        if repaired.inserted_tuples or repaired.removed_tuples:
+        edits = bool(repaired.inserted_tuples or repaired.removed_tuples)
+        if edits and not data_edit_eligible(
+                {t.table for t in repaired.inserted_tuples} |
+                {t.table for t in repaired.removed_tuples},
+                self.base_program, repaired.program, self._schemas):
             return None
         self.engine.restore(self.checkpoint)
         try:
             self.engine.apply_program_delta(self.base_program,
                                             repaired.program)
+            if edits:
+                self._apply_data_edits(repaired)
         except Exception:
             self.engine.restore(self.checkpoint)
             self.controller.rebind_program(self.base_program)
             return None
         self.controller.rebind_program(repaired.program)
         return self.controller
+
+    def _apply_data_edits(self, repaired: RepairedProgram) -> None:
+        """Fold the candidate's base-tuple edits into the warm engine.
+
+        Mirrors ``build_controller``'s static-list construction: removed
+        tuples drop out first (only those actually present as base tuples —
+        a removal of something never inserted is a no-op cold, too), then
+        insertions that are not themselves in the removed set.
+        """
+        engine = self.engine
+        removed = set(repaired.removed_tuples)
+        for tup in repaired.removed_tuples:
+            if engine.database.is_base(tup):
+                engine.remove(tup)
+        for tup in repaired.inserted_tuples:
+            if tup not in removed:
+                engine.insert(tup)
 
     def reset_data_plane(self) -> None:
         """Wipe the shared topology's flow tables for the next replay."""
@@ -212,7 +242,8 @@ class Backtester:
                  replay_batch_size: Optional[int] = None,
                  abort_policy: Optional[EarlyAbortPolicy] = None,
                  warm_engine: bool = True,
-                 static_vet: bool = True):
+                 static_vet: bool = True,
+                 parallel_min_seconds: float = 1.0):
         self.scenario = scenario
         self.ks_threshold = ks_threshold
         self.alpha = alpha
@@ -248,6 +279,15 @@ class Backtester:
         #: a ``vetoed`` note (see :class:`repro.analysis.vet.CandidateVetter`).
         self.static_vet = static_vet
         self._vetter = None
+        #: Minimum estimated serial runtime (baseline replay time x
+        #: candidate count) below which ``workers > 1`` degrades to the
+        #: serial path: forking a pool costs a few hundred milliseconds of
+        #: startup plus per-shard warm-state rebuilds (workers inherit the
+        #: parent's warm engine copy-on-write but re-fault it), so tiny
+        #: jobs run *slower* parallel — the Fig 9b crossover.  Set to 0 to
+        #: always honour the requested worker count.
+        self.parallel_min_seconds = parallel_min_seconds
+        self._baseline_seconds: Optional[float] = None
         #: Per-process counters: candidates served warm vs cold fallbacks,
         #: plus candidates vetoed without any replay.
         self.warm_hits = 0
@@ -281,9 +321,16 @@ class Backtester:
         return simulator.stats
 
     def baseline(self) -> TrafficStats:
-        """Traffic distribution of the original (buggy) program."""
+        """Traffic distribution of the original (buggy) program.
+
+        The wall-clock of the (cold) baseline replay doubles as the
+        per-candidate cost estimate for the parallel min-work threshold:
+        every candidate replays the same trace.
+        """
         if self._baseline is None:
+            started = _time.perf_counter()
             self._baseline = self.run_program(None)
+            self._baseline_seconds = _time.perf_counter() - started
         return self._baseline
 
     # ------------------------------------------------------------------
@@ -453,6 +500,16 @@ class Backtester:
                 return scheduler.run(self, candidates)
             return scheduler.run(self, candidates, progress=progress)
         workers = self._use_workers(candidates, workers)
+        if workers > 1 and self.parallel_min_seconds > 0:
+            # Min-work threshold (the Fig 9b crossover): when the whole
+            # candidate list replays serially in less time than pool
+            # startup amortises, parallel dispatch is a net loss.  The
+            # baseline replay — needed anyway — is the per-candidate
+            # estimate, since each candidate replays the same trace.
+            self.baseline()
+            estimate = (self._baseline_seconds or 0.0) * len(candidates)
+            if estimate < self.parallel_min_seconds:
+                workers = 1
         if workers > 1:
             if fork_available():
                 trunk = self._build_trunk()

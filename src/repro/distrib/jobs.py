@@ -178,6 +178,14 @@ class RuntimeCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Counters of this worker's process-global rule-plan cache
+        (:data:`repro.ndlog.plan.PLAN_CACHE`).  Cached runtimes keep their
+        engines alive across jobs, so near-identical candidate programs
+        re-index against mostly cached plans; the hit rate quantifies it."""
+        from ..ndlog.plan import PLAN_CACHE
+        return PLAN_CACHE.stats()
+
 
 class JobRuntime:
     """Worker-side execution state for one job.

@@ -174,6 +174,11 @@ class WarmEngineStats(SessionEvent):
     vetoed: int = 0
     probe_hits: int = 0
     probe_misses: int = 0
+    #: Shared rule-plan cache traffic during the stage (process-wide
+    #: :data:`repro.ndlog.plan.PLAN_CACHE` delta): near-identical candidate
+    #: programs should hit almost every rule.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 # ---------------------------------------------------------------------------

@@ -12,19 +12,27 @@ history used by the provenance subsystem:
 Evaluation strategy
 -------------------
 
-Rules are compiled to small *plans* when a program is installed
-(:meth:`Engine.set_program`).  A plan precomputes, per body atom, the
-constant arguments (checked against tuple values before any binding
-environment is allocated), the variable/expression argument layout, and —
-per selection predicate — the variable set it needs.  During a join the
-engine probes the database's ``(column, value)`` hash indexes with the
-equality constraints implied by constants and already-bound variables, so
-each body atom enumerates only the candidate tuples that can possibly match
-instead of scanning (and copying) the whole table.  Selection predicates are
-pushed down: each one is evaluated as soon as its variables are bound, which
-prunes join branches early.  The fixpoint itself runs off a deque-based
-worklist, and duplicate rule firings are detected with a per-(rule, head)
-hash set rather than a linear scan of the derivation history.
+Rules are *compiled* when a program is installed: each rule becomes a
+:class:`~repro.ndlog.plan.CompiledRule` — specialized Python fire functions
+(one per trigger position) generated from the rule's structure and shared
+across programs through the process-global, structural-digest-keyed
+:data:`~repro.ndlog.plan.PLAN_CACHE`.  A fire function processes a whole
+batch of trigger tuples per call; joins probe the database's ``(column,
+value)`` hash indexes with the equality constraints implied by constants and
+already-bound variables, and selection predicates are pushed down to the
+first join depth where their variables are bound.  The event-visible
+fixpoint runs off a deque-based worklist (single-tuple batches, preserving
+the exact historical firing order); the quiet bulk paths (deletion
+re-derivation, program-delta seeding, full recompute) run round-based delta
+batches — the full recompute additionally evaluates stratum-by-stratum over
+the SCC condensation from :mod:`repro.analysis.depgraph` (semi-naive:
+each round joins only the previous round's delta against the indexes).
+Duplicate rule firings are detected with a per-(rule, head) hash set rather
+than a linear scan of the derivation history.  The interpreted evaluator
+(:meth:`_fire_rule`) is kept both as the provenance layer's ad-hoc matcher
+and as the event-visible fallback for the rare rules where eager batch
+firing cannot reproduce the lazy firing order (a head feeding its own body
+table at join depth >= 2).
 
 Deletion semantics
 ------------------
@@ -102,6 +110,7 @@ from .events import (
     EngineEvent,
 )
 from .expr import Bindings, FunctionRegistry, _compare, evaluate
+from .plan import CompiledRule, PLAN_CACHE, schedule_for
 from .tuples import Database, NDTuple, TableSchema
 
 
@@ -153,14 +162,20 @@ def _changed_cone(delta: ProgramDelta, old: Program, new: Program) -> Set[str]:
     Closing over both is required — a rule removed from ``old`` still
     propagated its head table's contents there, and a rule added in ``new``
     only propagates there."""
-    from ..analysis.depgraph import DependencyGraph
-
     seeds: Set[str] = set()
     for program, names in ((old, delta.removed | delta.modified),
                            (new, delta.added | delta.modified)):
         for rule in program.rules:
             if rule.name in names:
                 seeds.add(rule.head.table)
+    return _both_downstream(seeds, old, new)
+
+
+def _both_downstream(seeds: Iterable[str], old: Program,
+                     new: Program) -> Set[str]:
+    """``seeds`` closed downstream over both programs' dependency graphs."""
+    from ..analysis.depgraph import DependencyGraph
+
     graphs = (DependencyGraph(old), DependencyGraph(new))
     cone = set(seeds)
     changed = True
@@ -172,6 +187,24 @@ def _changed_cone(delta: ProgramDelta, old: Program, new: Program) -> Set[str]:
                 cone |= expanded
                 changed = True
     return cone
+
+
+def data_edit_eligible(tables: Iterable[str], old: Program, new: Program,
+                       schemas: Dict[str, TableSchema]) -> bool:
+    """May base-tuple edits in ``tables`` be applied warm (checkpoint
+    restore + incremental :meth:`Engine.remove` / :meth:`Engine.insert`)
+    instead of being folded into a cold static fixpoint?
+
+    Mirrors the rule-delta keyed-cone rule: the edits are ineligible when
+    their downstream cone — closed over *both* programs' dependency graphs,
+    like :func:`_changed_cone` — touches a primary-key table, where
+    update-semantics eviction makes the result insertion-order dependent.
+    """
+    for table in _both_downstream(tables, old, new):
+        schema = schemas.get(table)
+        if schema is not None and schema.primary_key:
+            return False
+    return True
 
 
 def _delta_ineligibility(old: Program, new: Program,
@@ -216,7 +249,8 @@ class EngineCheckpoint:
     :meth:`Engine.checkpoint`)."""
 
     __slots__ = ("engine", "journal_length", "clock", "event_count",
-                 "derivation_count", "program", "incremental_ready",
+                 "derivation_count", "quiet_firings", "program",
+                 "incremental_ready",
                  "plans_by_body_table", "plans_by_name", "rule_names")
 
     def __init__(self, engine: "Engine"):
@@ -225,6 +259,7 @@ class EngineCheckpoint:
         self.clock = engine.clock
         self.event_count = len(engine.events)
         self.derivation_count = len(engine.derivations)
+        self.quiet_firings = engine._quiet_firings
         self.program = engine.program
         self.incremental_ready = engine._incremental_ready
         # Plan dicts are replaced (never mutated) by _index_rules, so
@@ -351,8 +386,13 @@ class Engine:
         #: (:meth:`_retract_rules`) touches only the rule's own supports
         #: instead of scanning every live support in the database.
         self._supports_by_rule: Dict[str, Set[Tuple[NDTuple, Tuple[str, Tuple[NDTuple, ...]]]]] = {}
-        self._plans_by_body_table: Dict[str, List[Tuple[_RulePlan, int]]] = defaultdict(list)
+        self._plans_by_body_table: Dict[str, List[Tuple[CompiledRule, int]]] = defaultdict(list)
         self._rule_names: Set[str] = set()
+        #: Rule firings processed on quiet paths (``record_events=False``
+        #: skips the derivation history entirely); stands in for the
+        #: ``max_derivations`` runaway guard there, and is checkpointed so a
+        #: restore rewinds the budget too.
+        self._quiet_firings = 0
         #: False after a program swap left derived state without supports;
         #: the next removal resynchronises with a full recompute.
         self._incremental_ready = True
@@ -370,27 +410,23 @@ class Engine:
     # Setup helpers
     # ------------------------------------------------------------------
 
-    def _index_rules(self, reuse_plans: Optional[Dict[str, "_RulePlan"]] = None,
-                     reuse_names: Optional[Set[str]] = None):
-        """(Re)compile the rule plans for the current program.
+    def _index_rules(self):
+        """(Re)resolve the compiled plans for the current program.
 
-        ``reuse_plans``/``reuse_names`` let a program delta keep the compiled
-        plans of structurally unchanged rules (plans depend only on rule
-        content), so switching candidates costs O(changed rules) instead of
-        recompiling the whole program.  Fresh dicts are assigned rather than
-        cleared: checkpoints hold references to the previous ones, making a
-        restore's plan rollback a pointer swap.
+        Plans are fetched from the process-global :data:`PLAN_CACHE`, keyed
+        by structural digest, so structurally unchanged rules — whether from
+        a program delta, a sibling candidate program, or another engine
+        entirely — share one compiled plan.  Fresh dicts are assigned rather
+        than cleared: checkpoints hold references to the previous ones,
+        making a restore's plan rollback a pointer swap.
         """
-        plans_by_body_table: Dict[str, List[Tuple[_RulePlan, int]]] = \
+        plans_by_body_table: Dict[str, List[Tuple[CompiledRule, int]]] = \
             defaultdict(list)
-        plans_by_name: Dict[str, _RulePlan] = {}
+        plans_by_name: Dict[str, CompiledRule] = {}
         rule_names: Set[str] = set()
+        cache = PLAN_CACHE
         for rule in self.program.rules:
-            if (reuse_plans is not None and reuse_names is not None
-                    and rule.name in reuse_names):
-                plan = reuse_plans[rule.name]
-            else:
-                plan = _RulePlan(rule)
+            plan = cache.get(rule)
             rule_names.add(rule.name)
             plans_by_name[rule.name] = plan
             for position in range(len(rule.body)):
@@ -455,6 +491,14 @@ class Engine:
         fixpoint, but remain visible in the event log and in the returned
         list, mirroring NDlog's message semantics.
         """
+        if not self.record_events:
+            # Quiet engines skip the schema/node lookups; the clock still
+            # advances by the same amount as the INSERT (+ APPEAR) logs.
+            fresh = self.database.insert(tup, derived=False)
+            self.clock += 2 if fresh else 1
+            derived = self._fixpoint([tup]) if fresh else []
+            self._cleanup_transients([tup] + derived)
+            return derived
         schema = self.database.schema(tup.table)
         node = tup.location(schema)
         fresh = self.database.insert(tup, derived=False)
@@ -468,13 +512,20 @@ class Engine:
     def insert_many(self, tuples: Iterable[NDTuple]) -> List[NDTuple]:
         """Insert several base tuples, running a single fixpoint at the end."""
         inserted = []
-        for tup in tuples:
-            schema = self.database.schema(tup.table)
-            node = tup.location(schema)
-            if self.database.insert(tup, derived=False):
-                inserted.append(tup)
-                self._log(INSERT, tup, node=node)
-                self._log(APPEAR, tup, node=node)
+        if not self.record_events:
+            db_insert = self.database.insert
+            for tup in tuples:
+                if db_insert(tup, derived=False):
+                    inserted.append(tup)
+                    self.clock += 2
+        else:
+            for tup in tuples:
+                schema = self.database.schema(tup.table)
+                node = tup.location(schema)
+                if self.database.insert(tup, derived=False):
+                    inserted.append(tup)
+                    self._log(INSERT, tup, node=node)
+                    self._log(APPEAR, tup, node=node)
         derived = self._fixpoint(inserted)
         self._cleanup_transients(inserted + derived)
         return derived
@@ -757,6 +808,7 @@ class Engine:
         del self.derivations[cp.derivation_count:]
         del self.events[cp.event_count:]
         self.clock = cp.clock
+        self._quiet_firings = cp.quiet_firings
         self._incremental_ready = cp.incremental_ready
         if self.program is not cp.program:
             self.program = cp.program
@@ -793,11 +845,10 @@ class Engine:
         if reason is not None:
             raise ProgramDeltaError(
                 f"apply_program_delta: {reason}; cold rebuild required")
-        reuse_plans = self._plans_by_name
-        unchanged = (set(reuse_plans) & {r.name for r in new_program.rules}) \
-            - delta.changed
         self.program = new_program
-        self._index_rules(reuse_plans=reuse_plans, reuse_names=unchanged)
+        # Unchanged rules resolve to the exact same compiled plan through
+        # the shared structural-digest cache, so re-indexing is cheap.
+        self._index_rules()
         if not delta:
             return
         inserted: List[NDTuple] = []
@@ -912,39 +963,21 @@ class Engine:
         program) against the whole database, then propagate quietly."""
         if not rule_names:
             return
-        journal = self._journal
-        supports = self._supports
-        dependents = self._dependents
         database = self.database
         seeded: List[NDTuple] = []
         for rule in self.program.rules:
             if rule.name not in rule_names or not rule.body:
                 continue
             plan = self._plans_by_name[rule.name]
-            table = plan.atom_plans[0].table
-            # Enumerating all firings from atom 0 covers the whole rule:
-            # the join walks the remaining atoms through the indexes.
-            for trigger in list(database.table(table)):
-                for head, body, _bindings in self._fire_rule(plan, 0, trigger):
-                    key = (rule.name, body)
-                    head_supports = supports.setdefault(head, set())
-                    if key in head_supports:
-                        continue
-                    head_supports.add(key)
-                    self._rule_index_add(head, key)
-                    if journal is not None:
-                        journal.append(("supadd", head, key))
-                    dep = (head, rule.name, body)
-                    for member in body:
-                        member_deps = dependents.setdefault(member, set())
-                        if dep not in member_deps:
-                            member_deps.add(dep)
-                            if journal is not None:
-                                journal.append(("depadd", member, dep))
-                    fresh = not database.contains(head)
-                    database.insert(head, derived=True)
-                    if fresh:
-                        seeded.append(head)
+            # Batch-firing all firings from atom 0 covers the whole rule:
+            # the join walks the remaining atoms through the indexes.  Heads
+            # landing in the rule's own body tables re-fire in the delta
+            # rounds of the trailing _rederive_fixpoint.
+            batch = list(database.table(plan.body_tables[0]))
+            if not batch:
+                continue
+            firings = plan.fire(0, batch, database, self.functions, False)
+            self._apply_quiet_firings(plan, firings, seeded)
         if seeded:
             inserted.extend(seeded)
             self._rederive_fixpoint(seeded, inserted=inserted)
@@ -979,11 +1012,28 @@ class Engine:
         dependents = self._dependents
         database = self.database
         journal = self._journal
+        functions = self.functions
+        recording = self.record_events
+        plans_map = self._plans_by_body_table
+        limit = self.max_derivations
         while worklist:
             trigger = worklist.popleft()
-            for plan, position in self._plans_by_body_table.get(trigger.table, ()):
-                for head, body, bindings in self._fire_rule(plan, position, trigger):
-                    key = (plan.rule.name, body)
+            entries = plans_map.get(trigger.table)
+            if not entries:
+                continue
+            batch = (trigger,)
+            for plan, position in entries:
+                if plan.order_exact[position]:
+                    firings = plan.fire(position, batch, database, functions,
+                                        recording)
+                else:
+                    # Eager batch firing of a rule whose head feeds a body
+                    # table at join depth >= 2 can reorder firings relative
+                    # to the historical lazy join; fall back to the
+                    # interpreter so the event log stays bit-identical.
+                    firings = self._interp_firings(plan, position, trigger)
+                for head, body, bindings in firings:
+                    key = (plan.name, body)
                     head_supports = supports.setdefault(head, set())
                     if key in head_supports:
                         # Exact duplicate firing: nothing new to derive.
@@ -992,7 +1042,7 @@ class Engine:
                     self._rule_index_add(head, key)
                     if fired is not None:
                         fired.append((head, body))
-                    entry = (head, plan.rule.name, body)
+                    entry = (head, plan.name, body)
                     if journal is None:
                         for member in body:
                             dependents.setdefault(member, set()).add(entry)
@@ -1004,18 +1054,36 @@ class Engine:
                                 member_deps.add(entry)
                                 journal.append(("depadd", member, entry))
                     is_new = not database.contains(head)
-                    record = self._record_derivation(plan.rule, head, body, bindings)
-                    if record is None and is_new:
-                        # Re-derivation of a previously deleted tuple: the
-                        # historical record already exists, but the tuple
-                        # reappears now.
-                        self._log(APPEAR, head, node=self._head_node(plan.rule, head),
-                                  rule=plan.rule.name)
+                    if recording:
+                        record = self._record_derivation(plan.rule, head,
+                                                         body, bindings)
+                        if record is None and is_new:
+                            # Re-derivation of a previously deleted tuple:
+                            # the historical record already exists, but the
+                            # tuple reappears now.
+                            self._log(APPEAR, head,
+                                      node=self._head_node(plan.rule, head),
+                                      rule=plan.name)
+                    else:
+                        self._quiet_firings += 1
+                        if self._quiet_firings > limit:
+                            raise EvaluationError(
+                                f"derivation limit of {limit} exceeded; "
+                                "the program is probably not terminating")
                     database.insert(head, derived=True)
                     if is_new:
                         newly_derived.append(head)
                         worklist.append(head)
         return newly_derived
+
+    def _interp_firings(self, plan: CompiledRule, position: int,
+                        trigger: NDTuple):
+        """Order-exact fallback: run one trigger through the interpreted
+        plan (lazily built and cached on the compiled plan)."""
+        interp = plan.interp
+        if interp is None:
+            interp = plan.interp = _RulePlan(plan.rule)
+        return list(self._fire_rule(interp, position, trigger))
 
     def _rederive_fixpoint(self, delta: Sequence[NDTuple],
                            inserted: Optional[List[NDTuple]] = None):
@@ -1027,40 +1095,63 @@ class Engine:
         tuples newly added to the database, so program-delta callers can
         clean up transient heads afterwards.
         """
-        worklist = deque(delta)
+        database = self.database
+        functions = self.functions
+        plans_map = self._plans_by_body_table
+        frontier = list(delta)
+        while frontier:
+            # Semi-naive delta round: batch the frontier per table and fire
+            # each consuming plan once over the whole batch.
+            by_table: Dict[str, List[NDTuple]] = {}
+            for tup in frontier:
+                by_table.setdefault(tup.table, []).append(tup)
+            frontier = []
+            for table, batch in by_table.items():
+                for plan, position in plans_map.get(table, ()):
+                    firings = plan.fire(position, batch, database, functions,
+                                        False)
+                    self._apply_quiet_firings(plan, firings, frontier,
+                                              inserted=inserted)
+
+    def _apply_quiet_firings(self, plan: CompiledRule, firings,
+                             fresh_out: List[NDTuple],
+                             inserted: Optional[List[NDTuple]] = None) -> None:
+        """Register a batch of quiet firings: supports, dependents, journal,
+        derived flags.  Heads newly added to the database are appended to
+        ``fresh_out`` (the caller's next frontier) and, when given, to
+        ``inserted`` (for transient cleanup by program-delta callers)."""
+        if not firings:
+            return
         supports = self._supports
         dependents = self._dependents
         database = self.database
         journal = self._journal
-        while worklist:
-            trigger = worklist.popleft()
-            for plan, position in self._plans_by_body_table.get(trigger.table, ()):
-                for head, body, _bindings in self._fire_rule(plan, position, trigger):
-                    key = (plan.rule.name, body)
-                    head_supports = supports.setdefault(head, set())
-                    fresh_support = key not in head_supports
-                    if fresh_support:
-                        head_supports.add(key)
-                        self._rule_index_add(head, key)
-                        entry = (head, plan.rule.name, body)
-                        if journal is None:
-                            for member in body:
-                                dependents.setdefault(member, set()).add(entry)
-                        else:
-                            journal.append(("supadd", head, key))
-                            for member in body:
-                                member_deps = dependents.setdefault(member,
-                                                                    set())
-                                if entry not in member_deps:
-                                    member_deps.add(entry)
-                                    journal.append(("depadd", member, entry))
-                    if not database.contains(head):
-                        database.insert(head, derived=True)
-                        if inserted is not None:
-                            inserted.append(head)
-                        worklist.append(head)
-                    elif fresh_support:
-                        database.insert(head, derived=True)
+        name = plan.name
+        for head, body, _bindings in firings:
+            key = (name, body)
+            head_supports = supports.setdefault(head, set())
+            fresh_support = key not in head_supports
+            if fresh_support:
+                head_supports.add(key)
+                self._rule_index_add(head, key)
+                entry = (head, name, body)
+                if journal is None:
+                    for member in body:
+                        dependents.setdefault(member, set()).add(entry)
+                else:
+                    journal.append(("supadd", head, key))
+                    for member in body:
+                        member_deps = dependents.setdefault(member, set())
+                        if entry not in member_deps:
+                            member_deps.add(entry)
+                            journal.append(("depadd", member, entry))
+            if not database.contains(head):
+                database.insert(head, derived=True)
+                if inserted is not None:
+                    inserted.append(head)
+                fresh_out.append(head)
+            elif fresh_support:
+                database.insert(head, derived=True)
 
     def _rule_index_add(self, head: NDTuple,
                         key: Tuple[str, Tuple[NDTuple, ...]]) -> None:
@@ -1111,7 +1202,7 @@ class Engine:
             self._supports.clear()
             self._dependents.clear()
             self._supports_by_rule.clear()
-        self._rederive_fixpoint(list(self.database.base_tuples()))
+        self._bulk_rederive()
         self._incremental_ready = True
         disappeared = []
         for tup in before:
@@ -1121,6 +1212,53 @@ class Engine:
                 self._log(DISAPPEAR, tup, node=tup.location(schema))
                 disappeared.append(tup)
         return disappeared
+
+    def _bulk_rederive(self) -> None:
+        """Stratified semi-naive re-derivation of the full derived set.
+
+        Evaluates SCC group by SCC group in the dependency order provided by
+        :meth:`repro.analysis.depgraph.DependencyGraph.evaluation_groups`:
+        each group's rules are seeded with one whole-table batch fire from
+        atom 0 (covering every firing among already-present tuples), then
+        iterated semi-naively — only the group's own fresh heads re-fire,
+        and only through the group's own rules; later groups see the
+        finished result when they seed.  Falls back to the un-stratified
+        delta fixpoint when the program cannot be scheduled (duplicate rule
+        names).
+        """
+        schedule = schedule_for(self.program)
+        if schedule is None:
+            self._rederive_fixpoint(list(self.database.base_tuples()))
+            return
+        database = self.database
+        functions = self.functions
+        plans_by_name = self._plans_by_name
+        plans_map = self._plans_by_body_table
+        for tables, rule_names, _stratum in schedule.groups:
+            frontier: List[NDTuple] = []
+            for name in rule_names:
+                plan = plans_by_name.get(name)
+                if plan is None or not plan.body_tables:
+                    continue
+                batch = list(database.table(plan.body_tables[0]))
+                if not batch:
+                    continue
+                firings = plan.fire(0, batch, database, functions, False)
+                self._apply_quiet_firings(plan, firings, frontier)
+            while frontier:
+                by_table: Dict[str, List[NDTuple]] = {}
+                for tup in frontier:
+                    by_table.setdefault(tup.table, []).append(tup)
+                frontier = []
+                for table, batch in by_table.items():
+                    for plan, position in plans_map.get(table, ()):
+                        if plan.head_table not in tables:
+                            # Consumers outside the group pick the head up
+                            # when their own group seeds.
+                            continue
+                        firings = plan.fire(position, batch, database,
+                                            functions, False)
+                        self._apply_quiet_firings(plan, firings, frontier)
 
     def _has_valid_support(self, head: NDTuple) -> bool:
         """Does any registered support of ``head`` still hold entirely?"""
@@ -1133,7 +1271,7 @@ class Engine:
         return False
 
     def _record_derivation(self, rule: Rule, head: NDTuple,
-                           body: Tuple[NDTuple, ...], bindings: Dict[str, object]):
+                           body: Tuple[NDTuple, ...], bindings):
         if len(self.derivations) >= self.max_derivations:
             raise EvaluationError(
                 f"derivation limit of {self.max_derivations} exceeded; "
@@ -1143,11 +1281,15 @@ class Engine:
         if body in recorded:
             return None
         recorded.add(body)
+        if not isinstance(bindings, tuple):
+            # Interpreted firings carry a dict; compiled plans already emit
+            # the canonical name-sorted tuple.
+            bindings = tuple(sorted(bindings.items(), key=lambda kv: kv[0]))
         record = DerivationRecord(
             rule=rule.name,
             head=head,
             body=body,
-            bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+            bindings=bindings,
             time=self.clock + 1,
             node=self._head_node(rule, head),
         )
@@ -1361,9 +1503,11 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _cleanup_transients(self, candidates: Iterable[NDTuple]):
+        transients = self.database.transient_tables
+        if not transients:
+            return
         for tup in candidates:
-            schema = self.database.schema(tup.table)
-            if schema is not None and not schema.persistent:
+            if tup.table in transients:
                 self.database.remove(tup)
 
 

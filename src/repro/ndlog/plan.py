@@ -1,0 +1,537 @@
+"""Compiled rule plans, the shared plan cache, and program schedules.
+
+This module is the compilation layer of the engine core: each NDlog rule is
+translated once into specialized Python *fire functions* (one per trigger
+position) that process a whole batch of trigger tuples per call, probing the
+database's ``(column, value)`` hash indexes exactly like the interpreted
+join did.  Compilation is keyed by the rule's **structural digest** (the
+canonical ``to_ndlog()`` text), so the thousands of near-identical candidate
+programs of a repair corpus share almost all compiled plans through the
+process-global :data:`PLAN_CACHE` — switching candidates compiles only the
+edited rules, and cold-building a candidate engine compiles nothing that any
+earlier program already used.
+
+Semantics are bit-compatible with the interpreted evaluator
+(:meth:`repro.ndlog.engine.Engine._fire_rule`):
+
+* constant arguments and variable joins use **strict** equality; wildcard
+  values are ordinary values during matching,
+* selection predicates are wildcard-aware (``==``/``!=`` via
+  :func:`repro.ndlog.expr.values_equal` semantics, ordered comparisons fail
+  against wildcards) and are pushed down to the first join depth where their
+  variables are bound,
+* a pushed selection that raises :class:`EvaluationError` is *deferred*: the
+  branch survives and the selection is re-evaluated in the finish stage,
+  where the error propagates only for joins that actually complete,
+* assignments and remaining selections run in the finish stage in the same
+  relaxation (round-robin by index) order as the interpreter, and the head
+  is built last,
+* candidate enumeration probes :meth:`Database.candidates` with constants
+  first, then bound variable columns in first-occurrence order — the same
+  constraint order, hence the same bucket choice, as the interpreter.
+
+``fire()`` is *eager*: it returns the complete firing list for a batch
+before the engine applies any mutation.  For a rule whose head feeds one of
+its own body tables at join depth >= 2, eagerness can reorder (never lose)
+firings relative to the lazy interpreter; :attr:`CompiledRule.order_exact`
+flags the positions where eager evaluation is provably order-identical, and
+the engine keeps the interpreter for the (rare) inexact positions on the
+event-visible path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (ARITHMETIC_OPERATORS, COMPARISON_OPERATORS, Atom, BinOp,
+                  Const, Expression, FuncCall, Program, Rule, Var, WILDCARD)
+from .errors import EvaluationError
+from .expr import _arith, _compare
+from .tuples import NDTuple
+
+
+class _Unresolvable(Exception):
+    """A variable is statically never bound on this code path."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(name)
+
+
+def rule_digest(rule: Rule) -> str:
+    """Structural digest of a rule: sha1 of its canonical NDlog text.
+
+    ``to_ndlog()`` renders the full structure (name, head, body atoms,
+    selections, assignments) and round-trips through the parser, so equal
+    digests imply structurally equal rules.
+    """
+    return hashlib.sha1(rule.to_ndlog().encode("utf-8")).hexdigest()
+
+
+def program_digest(program: Program) -> str:
+    """Digest of a program's rule sequence (order-sensitive)."""
+    sha = hashlib.sha1()
+    for rule in program.rules:
+        sha.update(rule_digest(rule).encode("ascii"))
+        sha.update(b";")
+    return sha.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+
+def _lit(value, pool: List) -> str:
+    """Literal code for a constant, falling back to the per-rule pool."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    pool.append(value)
+    return f"_K[{len(pool) - 1}]"
+
+
+def _emit_expr(expr: Expression, env: Dict[str, str],
+               pool: List) -> Tuple[str, bool]:
+    """Compile ``expr`` to a Python expression string.
+
+    ``env`` maps NDlog variable names to local slot names; every
+    subexpression is emitted exactly once (single evaluation, left-to-right
+    — matching :func:`repro.ndlog.expr.evaluate`).  Returns ``(code,
+    can_raise)``; raises :class:`_Unresolvable` when the expression reads a
+    variable with no slot.
+    """
+    if isinstance(expr, Const):
+        return _lit(expr.value, pool), False
+    if isinstance(expr, Var):
+        slot = env.get(expr.name)
+        if slot is None:
+            raise _Unresolvable(expr.name)
+        return slot, False
+    if isinstance(expr, BinOp):
+        left, left_raises = _emit_expr(expr.left, env, pool)
+        right, right_raises = _emit_expr(expr.right, env, pool)
+        simple = (isinstance(expr.left, (Const, Var))
+                  and isinstance(expr.right, (Const, Var)))
+        if expr.op == "==" and simple:
+            # values_equal: wildcards match anything, otherwise plain ==.
+            return f"({left} == _W or {right} == _W or {left} == {right})", \
+                False
+        if expr.op == "!=" and simple:
+            return (f"({left} != _W and {right} != _W "
+                    f"and {left} != {right})"), False
+        if expr.op in COMPARISON_OPERATORS:
+            return f"_cmp({expr.op!r}, {left}, {right})", True
+        if expr.op in ARITHMETIC_OPERATORS:
+            return f"_ar({expr.op!r}, {left}, {right})", True
+        return f"_cmp({expr.op!r}, {left}, {right})", True
+    if isinstance(expr, FuncCall):
+        args = []
+        for arg in expr.args:
+            code, _ = _emit_expr(arg, env, pool)
+            args.append(code)
+        return f"_fn({expr.name!r})({', '.join(args)})", True
+    raise EvaluationError(
+        f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Rule compilation
+# ---------------------------------------------------------------------------
+
+
+class _Emitter:
+    """Tiny indented source builder."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def w(self, depth: int, text: str):
+        self.lines.append("    " * depth + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _atom_layout(atom: Atom):
+    """(consts, steps, var_columns) exactly as the interpreter precomputes."""
+    consts = []
+    steps = []
+    var_columns = []
+    seen = set()
+    for column, arg in enumerate(atom.args):
+        if isinstance(arg, Const):
+            consts.append((column, arg.value))
+        elif isinstance(arg, Var):
+            steps.append(("v", column, arg.name))
+            if arg.name not in seen:
+                seen.add(arg.name)
+                var_columns.append((column, arg.name))
+        else:
+            steps.append(("e", column, arg))
+    return consts, steps, var_columns
+
+
+class CompiledRule:
+    """A rule compiled to per-trigger-position batch fire functions."""
+
+    __slots__ = ("rule", "name", "digest", "head_table", "body_tables",
+                 "order_exact", "source", "_fires", "interp")
+
+    def __init__(self, rule: Rule):
+        for body_atom in rule.body:
+            if body_atom.negated:
+                raise EvaluationError(
+                    f"rule {rule.name!r}: negated atom "
+                    f"!{body_atom.table} is not supported by the evaluator")
+        self.rule = rule
+        self.name = rule.name
+        self.digest = rule_digest(rule)
+        self.head_table = rule.head.table
+        self.body_tables = tuple(atom.table for atom in rule.body)
+        #: Lazily attached interpreted plan (engine-side ``_RulePlan``) used
+        #: for the order-inexact positions on the event-visible path.
+        self.interp = None
+        self._compile()
+
+    def fire(self, position: int, triggers, database, functions, record):
+        """All firings of the rule with each trigger at ``position``.
+
+        Returns ``[(head, body, bindings_or_None), ...]``; ``bindings`` is a
+        name-sorted tuple of ``(var, value)`` pairs when ``record`` is
+        truthy, else ``None``.  Eager: the caller applies mutations after.
+        """
+        return self._fires[position](triggers, database, functions, record)
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self):
+        rule = self.rule
+        atoms = [(atom,) + _atom_layout(atom) for atom in rule.body]
+        assigned = {a.var for a in rule.assignments}
+        sel_vars = [frozenset(s.variables()) for s in rule.selections]
+        pushable = [not (vars_ & assigned) for vars_ in sel_vars]
+
+        # Deterministic slot per body-bound variable (direct Var args only).
+        slots: Dict[str, str] = {}
+        for _atom, _consts, steps, _vc in atoms:
+            for kind, _column, payload in steps:
+                if kind == "v" and payload not in slots:
+                    slots[payload] = f"_b{len(slots)}"
+
+        pool: List = []
+        emitter = _Emitter()
+        emitter.w(0, f"# {rule.to_ndlog()}")
+        exact = []
+        for position in range(len(atoms)):
+            exact.append(self._emit_fire(emitter, position, atoms, slots,
+                                         assigned, sel_vars, pushable, pool))
+        names = ", ".join(f"_fire{p}" for p in range(len(atoms)))
+        if len(atoms) == 1:
+            names += ","
+        emitter.w(0, f"_FIRES = ({names})")
+        self.order_exact = tuple(exact)
+        self.source = emitter.source()
+        namespace = {
+            "NDTuple": NDTuple,
+            "_cmp": _compare,
+            "_ar": _arith,
+            "_W": WILDCARD,
+            "EvaluationError": EvaluationError,
+            "_K": tuple(pool),
+        }
+        exec(compile(self.source, f"<plan:{rule.name}>", "exec"), namespace)
+        self._fires = namespace["_FIRES"]
+
+    def _emit_fire(self, emitter, position, atoms, slots, assigned,
+                   sel_vars, pushable, pool) -> bool:
+        rule = self.rule
+        head = rule.head
+        join_order = [i for i in range(len(atoms)) if i != position]
+        # Eager firing is order-identical to the lazy interpreter unless a
+        # snapshot atom (head feeds its own body table) is re-enumerated per
+        # outer candidate, i.e. sits at join depth >= 2.
+        order_exact = not any(atoms[i][0].table == head.table
+                              for i in join_order[1:])
+        try:
+            body_lines = _Emitter()
+            self._emit_fire_body(body_lines, position, atoms, slots,
+                                 assigned, sel_vars, pushable, pool,
+                                 join_order)
+        except _Unresolvable:
+            # A variable needed by an atom argument, selection, assignment
+            # or the head is never bound on this path: the rule can never
+            # fire from this trigger position (the interpreter prunes the
+            # same branches via UnboundVariableError / pending leftovers).
+            emitter.w(0, f"def _fire{position}(_triggers, _db, _functions, "
+                         f"_record):")
+            emitter.w(1, "return []")
+            return order_exact
+        emitter.w(0, f"def _fire{position}(_triggers, _db, _functions, "
+                     f"_record):")
+        emitter.lines.extend(body_lines.lines)
+        return order_exact
+
+    def _emit_fire_body(self, out, position, atoms, slots, assigned,
+                        sel_vars, pushable, pool, join_order):
+        rule = self.rule
+        selections = rule.selections
+        out.w(1, "_out = []")
+        out.w(1, "_ap = _out.append")
+        out.w(1, "_cand = _db.candidates")
+        out.w(1, "_fn = _functions.lookup")
+        out.w(1, f"for _a{position} in _triggers:")
+
+        env: Dict[str, str] = {}
+        emitted_sel = set()
+        deferred_flags = set()
+        depth = 2
+
+        def emit_selections(depth):
+            # Pushed-down selections, index order, at the first depth where
+            # their variables are bound (matches _push_selections).
+            for index, vars_ in enumerate(sel_vars):
+                if index in emitted_sel or not pushable[index]:
+                    continue
+                if not vars_ <= env.keys():
+                    continue
+                emitted_sel.add(index)
+                code, can_raise = _emit_expr(selections[index].expr, env,
+                                             pool)
+                if can_raise:
+                    deferred_flags.add(index)
+                    out.w(depth, "try:")
+                    out.w(depth + 1, f"if not {code}:")
+                    out.w(depth + 2, "continue")
+                    out.w(depth + 1, f"_d{index} = False")
+                    out.w(depth, "except EvaluationError:")
+                    out.w(depth + 1, f"_d{index} = True")
+                else:
+                    out.w(depth, f"if not {code}:")
+                    out.w(depth + 1, "continue")
+
+        def emit_match(atom_index, depth):
+            atom, consts, steps, _vc = atoms[atom_index]
+            out.w(depth, f"_v{atom_index} = _a{atom_index}.values")
+            out.w(depth, f"if len(_v{atom_index}) != {len(atom.args)}:")
+            out.w(depth + 1, "continue")
+            for column, value in consts:
+                out.w(depth, f"if _v{atom_index}[{column}] != "
+                             f"{_lit(value, pool)}:")
+                out.w(depth + 1, "continue")
+            for kind, column, payload in steps:
+                if kind == "v":
+                    slot = slots[payload]
+                    if payload in env:
+                        out.w(depth, f"if {slot} != _v{atom_index}[{column}]:")
+                        out.w(depth + 1, "continue")
+                    else:
+                        out.w(depth, f"{slot} = _v{atom_index}[{column}]")
+                        env[payload] = slot
+                else:
+                    # Expression argument: evaluate under the bindings so
+                    # far; an evaluation error is a non-match.
+                    code, _ = _emit_expr(payload, env, pool)
+                    temp = f"_e{atom_index}_{column}"
+                    out.w(depth, "try:")
+                    out.w(depth + 1, f"{temp} = {code}")
+                    out.w(depth, "except EvaluationError:")
+                    out.w(depth + 1, "continue")
+                    out.w(depth, f"if {temp} != _v{atom_index}[{column}]:")
+                    out.w(depth + 1, "continue")
+
+        emit_match(position, depth)
+        emit_selections(depth)
+        for atom_index in join_order:
+            atom, consts, _steps, var_columns = atoms[atom_index]
+            constraints = [f"({column}, {_lit(value, pool)})"
+                           for column, value in consts]
+            constraints += [f"({column}, {env[name]})"
+                            for column, name in var_columns if name in env]
+            literal = "(" + ", ".join(constraints) + \
+                (",)" if len(constraints) == 1 else ")")
+            probe = f"_cand({atom.table!r}, {literal})"
+            if atom.table == rule.head.table:
+                probe = f"tuple({probe})"
+            out.w(depth, f"for _a{atom_index} in {probe}:")
+            depth += 1
+            emit_match(atom_index, depth)
+            emit_selections(depth)
+
+        # ---- finish stage: assignments + remaining selections, in the
+        # interpreter's relaxation order, then the head. ----
+        known = set(env)
+        assignment_vars = [frozenset(a.expr.variables())
+                           for a in rule.assignments]
+        pending_a = list(range(len(rule.assignments)))
+        pending_s = [i for i in range(len(selections))
+                     if not pushable[i] or i in deferred_flags]
+        # Pushable selections whose variables never bind make the rule
+        # unfireable from any position (the interpreter leaves them pending
+        # forever and returns None).
+        pending_s += [i for i in range(len(selections))
+                      if pushable[i] and i not in emitted_sel]
+        pending_s.sort()
+        fresh = 0
+        progress = True
+        while progress and (pending_a or pending_s):
+            progress = False
+            for index in list(pending_a):
+                if assignment_vars[index] <= known:
+                    assignment = rule.assignments[index]
+                    code, _ = _emit_expr(assignment.expr, env, pool)
+                    slot = f"_f{fresh}"
+                    fresh += 1
+                    out.w(depth, f"{slot} = {code}")
+                    env[assignment.var] = slot
+                    known.add(assignment.var)
+                    pending_a.remove(index)
+                    progress = True
+            for index in list(pending_s):
+                if sel_vars[index] <= known:
+                    code, _ = _emit_expr(selections[index].expr, env, pool)
+                    if index in deferred_flags:
+                        out.w(depth, f"if _d{index} and not ({code}):")
+                    else:
+                        out.w(depth, f"if not {code}:")
+                    out.w(depth + 1, "continue")
+                    pending_s.remove(index)
+                    progress = True
+        if pending_a or pending_s:
+            raise _Unresolvable("<pending>")
+
+        head_values = []
+        for arg in rule.head.args:
+            if isinstance(arg, Var):
+                slot = env.get(arg.name)
+                if slot is None:
+                    raise _Unresolvable(arg.name)
+                head_values.append(slot)
+            else:
+                code, _ = _emit_expr(arg, env, pool)
+                head_values.append(code)
+        head_literal = "(" + ", ".join(head_values) + \
+            (",)" if len(head_values) == 1 else ")")
+        out.w(depth, f"_h = NDTuple({rule.head.table!r}, {head_literal})")
+        body_vars = ", ".join(f"_a{i}" for i in range(len(atoms)))
+        if len(atoms) == 1:
+            body_vars += ","
+        pairs = "".join(f"({name!r}, {env[name]}), "
+                        for name in sorted(env))
+        out.w(depth, f"_ap((_h, ({body_vars}), "
+                     f"(({pairs})) if _record else None))")
+        out.w(1, "return _out")
+
+
+# ---------------------------------------------------------------------------
+# Shared plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """Process-global LRU of compiled rule plans, keyed by structural digest.
+
+    Plans are engine-stateless (the database, function registry and
+    record flag are call arguments), so one cache serves every engine in
+    the process — across the candidate corpus of one backtest and across
+    jobs inside a distributed worker's ``RuntimeCache``.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._plans: "OrderedDict[str, CompiledRule]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, rule: Rule) -> CompiledRule:
+        digest = rule_digest(rule)
+        plan = self._plans.get(digest)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(digest)
+            return plan
+        self.misses += 1
+        plan = CompiledRule(rule)
+        self._plans[digest] = plan
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+        return plan
+
+    def __len__(self):
+        return len(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._plans), "capacity": self.capacity}
+
+    def clear(self):
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-global plan cache (see :class:`PlanCache`).
+PLAN_CACHE = PlanCache()
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Stats of the process-global plan cache (hits/misses/size)."""
+    return PLAN_CACHE.stats()
+
+
+# ---------------------------------------------------------------------------
+# Program schedules (stratified semi-naive bulk evaluation)
+# ---------------------------------------------------------------------------
+
+
+class ProgramSchedule:
+    """Stratum-ordered SCC groups of a program, for bulk re-evaluation.
+
+    ``groups`` is a tuple of ``(tables, rule_names, stratum)`` in evaluation
+    order: dependencies first (SCC condensation topological order), strata
+    ascending.  ``rule_names`` are the program's rules whose head lies in
+    the group, in program order.
+    """
+
+    __slots__ = ("groups", "digest")
+
+    def __init__(self, groups, digest):
+        self.groups = groups
+        self.digest = digest
+
+
+_SCHEDULE_CACHE: "OrderedDict[str, Optional[ProgramSchedule]]" = OrderedDict()
+_SCHEDULE_CACHE_CAPACITY = 256
+
+
+def schedule_for(program: Program) -> Optional[ProgramSchedule]:
+    """Evaluation schedule for ``program`` (cached by program digest).
+
+    Returns ``None`` when the program's rule names are ambiguous (duplicate
+    names make per-group rule resolution unsafe); unstratifiable programs
+    still get a schedule in plain SCC topological order (stratum 0), which
+    is sufficient for the positive-rule bulk evaluation the engine runs.
+    """
+    digest = program_digest(program)
+    if digest in _SCHEDULE_CACHE:
+        _SCHEDULE_CACHE.move_to_end(digest)
+        return _SCHEDULE_CACHE[digest]
+    from ..analysis.depgraph import DependencyGraph
+
+    schedule: Optional[ProgramSchedule]
+    names = [rule.name for rule in program.rules]
+    if len(set(names)) != len(names):
+        schedule = None
+    else:
+        graph = DependencyGraph(program)
+        groups = []
+        for tables, stratum in graph.evaluation_groups():
+            rule_names = tuple(rule.name for rule in program.rules
+                               if rule.head.table in tables)
+            groups.append((tables, rule_names, stratum))
+        schedule = ProgramSchedule(tuple(groups), digest)
+    _SCHEDULE_CACHE[digest] = schedule
+    while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_CAPACITY:
+        _SCHEDULE_CACHE.popitem(last=False)
+    return schedule

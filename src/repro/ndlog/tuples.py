@@ -12,9 +12,17 @@ Storage details that the evaluation layer relies on:
   overlapping sets: a tuple inserted from the outside and later re-derived by
   a rule is both base and derived at once, and dropping one flag never evicts
   the tuple while the other flag remains.
-* Every table maintains secondary hash indexes keyed on ``(column, value)``
-  so joins can probe the tuples matching an already-bound variable instead of
-  scanning (and copying) the whole table.
+* Tables are stored column-oriented underneath the set interface: besides the
+  membership set, each table keeps an insertion-ordered row list (removals
+  swap-pop, keeping it dense) from which per-column value blocks are sliced
+  on demand (:meth:`Database.columns`, cached per mutation epoch).
+* Secondary hash indexes keyed on ``(column, value)`` let joins probe the
+  tuples matching an already-bound variable instead of scanning (and
+  copying) the whole table.  Indexes are *lazy*: a column's buckets are
+  materialised from the row list the first time a probe constrains that
+  column, and only materialised columns are maintained afterwards — tables
+  that are only ever scanned (or probed on one column) never pay for
+  indexing the rest.
 """
 
 from __future__ import annotations
@@ -87,6 +95,24 @@ class NDTuple:
         # Normalise lists into tuples so instances remain hashable.
         if not isinstance(self.values, tuple):
             object.__setattr__(self, "values", tuple(self.values))
+        # Tuples are hashed on every index probe and set membership test in
+        # the engine's hot loop; cache the hash once at construction.
+        object.__setattr__(self, "_hash", hash((self.table, self.values)))
+
+    def __hash__(self):
+        return self._hash
+
+    def __getstate__(self):
+        # The cached hash must not cross process boundaries: string hashing
+        # is per-process (PYTHONHASHSEED), so a pickled hash would be stale
+        # in a worker.  Recompute it on unpickle.
+        return (self.table, self.values)
+
+    def __setstate__(self, state):
+        table, values = state
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_hash", hash((table, values)))
 
     @property
     def arity(self):
@@ -135,11 +161,26 @@ class Database:
 
     def __init__(self, schemas: Optional[Dict[str, TableSchema]] = None):
         self._schemas: Dict[str, TableSchema] = dict(schemas or {})
+        #: Names of non-persistent tables, so the engine's post-fixpoint
+        #: transient sweep can skip the schema lookups when there are none.
+        self.transient_tables: Set[str] = {
+            name for name, schema in self._schemas.items()
+            if not schema.persistent}
         self._tables: Dict[str, Set[NDTuple]] = {}
         #: Per-tuple BASE_FLAG / DERIVED_FLAG bits.
         self._flags: Dict[NDTuple, int] = {}
+        #: Column-store backbone: dense insertion-ordered rows per table
+        #: (removals swap-pop) plus each live tuple's current position.
+        self._rows: Dict[str, List[NDTuple]] = {}
+        self._row_pos: Dict[str, Dict[NDTuple, int]] = {}
         #: Per-table secondary indexes: (column, value) -> set of tuples.
+        #: Only the columns in ``_indexed_columns[table]`` are materialised;
+        #: others are built on first probe (see :meth:`_ensure_column`).
         self._indexes: Dict[str, Dict[PyTuple[int, object], Set[NDTuple]]] = {}
+        self._indexed_columns: Dict[str, Set[int]] = {}
+        #: Mutation counter per table; invalidates the column-block cache.
+        self._epoch: Dict[str, int] = {}
+        self._columns_cache: Dict[str, PyTuple[int, PyTuple[tuple, ...]]] = {}
         #: Called with each tuple evicted by a primary-key update, so an
         #: engine can keep its incremental bookkeeping consistent.
         self.eviction_hook = None
@@ -157,6 +198,10 @@ class Database:
                 f"conflicting schema registration for table {schema.name!r}"
             )
         self._schemas[schema.name] = schema
+        if not schema.persistent:
+            self.transient_tables.add(schema.name)
+        else:
+            self.transient_tables.discard(schema.name)
 
     def schema(self, table) -> Optional[TableSchema]:
         return self._schemas.get(table)
@@ -177,12 +222,54 @@ class Database:
         """The live tuple set of a table.  Callers must not mutate it."""
         return self._tables.get(name, _EMPTY_SET)
 
+    def rows(self, name) -> List[NDTuple]:
+        """The live, dense row list of a table in insertion order (removals
+        swap-pop, so positions are not stable).  Callers must not mutate it.
+
+        Unlike :meth:`table`, iteration order does not depend on the string
+        hash seed — bulk evaluation passes batches in this order.
+        """
+        return self._rows.get(name, _EMPTY_ROWS)
+
+    def columns(self, name) -> PyTuple[tuple, ...]:
+        """Per-column value blocks of a table, aligned with :meth:`rows`.
+
+        ``columns(t)[c][i] == rows(t)[i].values[c]``.  Blocks are sliced
+        lazily from the row list and cached until the table next mutates.
+        Returns ``()`` for an empty or unknown table.
+        """
+        rows = self._rows.get(name)
+        if not rows:
+            return ()
+        epoch = self._epoch.get(name, 0)
+        cached = self._columns_cache.get(name)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        blocks = tuple(zip(*(row.values for row in rows)))
+        self._columns_cache[name] = (epoch, blocks)
+        return blocks
+
+    def _ensure_column(self, table, column) -> None:
+        """Materialise the ``(column, value)`` buckets of one table column."""
+        indexed = self._indexed_columns.setdefault(table, set())
+        if column in indexed:
+            return
+        indexed.add(column)
+        index = self._indexes.setdefault(table, {})
+        for tup in self._rows.get(table, ()):
+            values = tup.values
+            if column < len(values):
+                index.setdefault((column, values[column]), set()).add(tup)
+
     def lookup(self, table, column, value) -> Set[NDTuple]:
         """Tuples of ``table`` whose ``column`` holds exactly ``value``.
 
         Returns the live index bucket (do not mutate).  Comparison is strict
         equality — wildcard values are ordinary values at the storage layer.
         """
+        indexed = self._indexed_columns.get(table)
+        if indexed is None or column not in indexed:
+            self._ensure_column(table, column)
         index = self._indexes.get(table)
         if index is None:
             return _EMPTY_SET
@@ -201,11 +288,16 @@ class Database:
             return _EMPTY_SET
         if not constraints:
             return bucket
+        indexed = self._indexed_columns.get(table)
+        if indexed is None:
+            indexed = self._indexed_columns.setdefault(table, set())
         index = self._indexes.get(table)
         if index is None:
-            return _EMPTY_SET
+            index = self._indexes.setdefault(table, {})
         best = bucket
         for key in constraints:
+            if key[0] not in indexed:
+                self._ensure_column(table, key[0])
             found = index.get(key)
             if not found:
                 return _EMPTY_SET
@@ -265,21 +357,49 @@ class Database:
         return conflicting
 
     def _index_add(self, tup: NDTuple):
-        index = self._indexes.setdefault(tup.table, {})
-        for column, value in enumerate(tup.values):
-            index.setdefault((column, value), set()).add(tup)
+        """Register a fresh tuple in the row store and materialised buckets."""
+        table = tup.table
+        rows = self._rows.get(table)
+        if rows is None:
+            rows = self._rows[table] = []
+            self._row_pos[table] = {}
+        self._row_pos[table][tup] = len(rows)
+        rows.append(tup)
+        self._epoch[table] = self._epoch.get(table, 0) + 1
+        indexed = self._indexed_columns.get(table)
+        if indexed:
+            index = self._indexes[table]
+            values = tup.values
+            for column in indexed:
+                if column < len(values):
+                    index.setdefault((column, values[column]), set()).add(tup)
 
     def _index_discard(self, tup: NDTuple):
-        index = self._indexes.get(tup.table)
-        if index is None:
-            return
-        for column, value in enumerate(tup.values):
-            key = (column, value)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.discard(tup)
-                if not bucket:
-                    del index[key]
+        """Drop a tuple from the row store (swap-pop) and the buckets."""
+        table = tup.table
+        positions = self._row_pos.get(table)
+        if positions is not None:
+            position = positions.pop(tup, None)
+            if position is not None:
+                rows = self._rows[table]
+                last = rows.pop()
+                if last != tup:     # equality, not identity: the stored
+                    rows[position] = last   # instance may differ from ``tup``
+                    positions[last] = position
+                self._epoch[table] = self._epoch.get(table, 0) + 1
+        indexed = self._indexed_columns.get(table)
+        if indexed:
+            index = self._indexes[table]
+            values = tup.values
+            for column in indexed:
+                if column >= len(values):
+                    continue
+                key = (column, values[column])
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(tup)
+                    if not bucket:
+                        del index[key]
 
     def insert(self, tup: NDTuple, derived=False):
         """Insert a tuple; returns ``True`` if it was not already present."""
@@ -360,14 +480,16 @@ class Database:
         if kind == "dbadd":
             tup = entry[1]
             bucket = self._tables.get(tup.table)
-            if bucket is not None:
+            if bucket is not None and tup in bucket:
                 bucket.discard(tup)
-            self._index_discard(tup)
+                self._index_discard(tup)
             self._flags.pop(tup, None)
         elif kind == "dbrem":
             _, tup, flags = entry
-            self._tables.setdefault(tup.table, set()).add(tup)
-            self._index_add(tup)
+            bucket = self._tables.setdefault(tup.table, set())
+            if tup not in bucket:
+                bucket.add(tup)
+                self._index_add(tup)
             self._flags[tup] = flags
         elif kind == "dbflag":
             _, tup, flags = entry
@@ -384,10 +506,42 @@ class Database:
         copy = Database(self._schemas)
         for table, tuples in self._tables.items():
             copy._tables[table] = set(tuples)
+        for table, rows in self._rows.items():
+            copy._rows[table] = list(rows)
+            copy._row_pos[table] = dict(self._row_pos[table])
         for table, index in self._indexes.items():
             copy._indexes[table] = {key: set(bucket) for key, bucket in index.items()}
+        for table, indexed in self._indexed_columns.items():
+            copy._indexed_columns[table] = set(indexed)
         copy._flags = dict(self._flags)
         return copy
+
+    def index_consistent(self) -> bool:
+        """Do the row store and every materialised bucket agree with the
+        live tuple sets?  (Diagnostic used by the checkpoint tests.)"""
+        for table, live in self._tables.items():
+            rows = self._rows.get(table, [])
+            if len(rows) != len(live) or set(rows) != live:
+                return False
+            positions = self._row_pos.get(table, {})
+            if any(rows[pos] != tup for tup, pos in positions.items()):
+                return False
+        for table, index in self._indexes.items():
+            live = self._tables.get(table, _EMPTY_SET)
+            indexed = self._indexed_columns.get(table, set())
+            for (column, value), bucket in index.items():
+                if column not in indexed:
+                    return False
+                if any(tup not in live or tup.values[column] != value
+                       for tup in bucket):
+                    return False
+            for tup in live:
+                for column in indexed:
+                    if column < len(tup.values) and \
+                            tup not in index.get((column, tup.values[column]),
+                                                 _EMPTY_SET):
+                        return False
+        return True
 
     def __len__(self):
         return self.count()
@@ -397,3 +551,4 @@ class Database:
 
 
 _EMPTY_SET: Set[NDTuple] = frozenset()
+_EMPTY_ROWS: List[NDTuple] = []

@@ -17,6 +17,7 @@ if _BENCHMARKS_DIR not in sys.path:
     sys.path.insert(0, _BENCHMARKS_DIR)
 
 from bench_baseline import REPLAY_BATCH_SIZE, run_baseline  # noqa: E402
+from bench_engine_micro import SMOKE_RULE_SCALE  # noqa: E402
 
 
 def test_baseline_harness_smoke(tmp_path):
@@ -25,13 +26,24 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 4
+    assert payload["schema_version"] == 5
     assert payload["smoke"] is True
 
     engine = payload["engine"]
-    for workload in ("join_insert", "delete"):
+    for workload in ("join_insert", "join_insert_recorded", "delete"):
         assert engine[workload]["indexed_seconds"] > 0
         assert engine[workload]["naive_seconds"] > 0
+
+    # Schema v5: the Figure 10-style rule-scaling row, with the cold/warm
+    # build split and the plan-cache counters (the harness asserts the warm
+    # rebuild was served entirely from the shared cache).
+    scaling = engine[f"rule_scaling_{SMOKE_RULE_SCALE}"]
+    assert scaling["rules"] == SMOKE_RULE_SCALE
+    assert scaling["insert_seconds"] > 0
+    assert scaling["cold_build_seconds"] > 0
+    assert scaling["warm_build_seconds"] > 0
+    assert scaling["plan_cache_hits"] == SMOKE_RULE_SCALE
+    assert scaling["plan_cache_misses"] == 0
 
     # The parallel rows exist regardless of fork: without it, evaluate_all
     # degrades to the fabric's spawn transport instead of running serial.
@@ -56,17 +68,20 @@ def test_baseline_harness_smoke(tmp_path):
 
     reference = payload["smoke_reference"]
     assert reference["fig9b_sequential"]["seconds"] > 0
-    assert set(reference["engine"]) == {"join_insert", "delete"}
+    assert set(reference["engine"]) == {
+        "join_insert", "join_insert_recorded", "delete",
+        f"rule_scaling_{SMOKE_RULE_SCALE}"}
 
-    # Schema v3: the warm-vs-cold setup amortization rows.  Warm switching
-    # must beat the cold rebuild at every recorded size (the committed
-    # full-size row clears 2x; the smoke floor stays conservative).
+    # Schema v3: the warm-vs-cold setup amortization rows.  The shared
+    # rule-plan cache (schema v5) also serves cold rebuilds, so at smoke
+    # size warm and cold setup are near parity (sub-ms per pass, noisy in
+    # both directions); only guard against warm becoming drastically worse.
     warm = payload["warm_vs_cold"]
     assert set(warm) == {"fig9b_workload", "candidates_24"}
     for row in warm.values():
         assert row["warm_setup_seconds"] > 0
         assert row["cold_setup_seconds"] > 0
-        assert row["per_candidate_speedup"] > 1.0
+        assert row["per_candidate_speedup"] > 0.5
         assert row["warm_fallbacks"] == 0
     assert reference["warm_vs_cold"]["candidates"] == 3
 

@@ -139,9 +139,11 @@ def test_workers_match_serial(scenarios, name, backtester_cls):
     candidates = scenario_candidates(name)
     serial = backtester_cls(
         scenario, ks_threshold=scenario.ks_threshold).evaluate_all(candidates)
+    # parallel_min_seconds=0: these smoke-sized replays are exactly what
+    # the min-work threshold degrades to serial; force the pool path.
     parallel = backtester_cls(
-        scenario, ks_threshold=scenario.ks_threshold).evaluate_all(
-            candidates, workers=2)
+        scenario, ks_threshold=scenario.ks_threshold,
+        parallel_min_seconds=0.0).evaluate_all(candidates, workers=2)
     assert report_snapshot(parallel) == report_snapshot(serial)
 
 
@@ -183,5 +185,5 @@ def test_workers_and_batching_compose(scenarios):
         scenario, ks_threshold=scenario.ks_threshold).evaluate_all(candidates)
     combined = Backtester(
         scenario, ks_threshold=scenario.ks_threshold, workers=2,
-        replay_batch_size=8).evaluate_all(candidates)
+        replay_batch_size=8, parallel_min_seconds=0.0).evaluate_all(candidates)
     assert report_snapshot(combined) == report_snapshot(plain)

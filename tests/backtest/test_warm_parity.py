@@ -19,8 +19,8 @@ from repro.ndlog.ast import Var
 from repro.ndlog.parser import parse_program
 from repro.ndlog.tuples import NDTuple
 from repro.repair import (AddRule, ChangeAssignment, ChangeConstant,
-                          DeleteRule, DeleteSelection, InsertTuple,
-                          RepairCandidate)
+                          ChangeTuple, DeleteRule, DeleteSelection,
+                          DeleteTuple, InsertTuple, RepairCandidate)
 from repro.scenarios import build_scenario
 
 SCENARIOS = ["Q1", "Q2", "Q3", "Q4", "Q5"]
@@ -31,11 +31,24 @@ def scenario_candidates(name):
     """One plausible fix plus one overly general repair per scenario (the
     same pairs as the transport parity suite)."""
     if name == "Q1":
+        # The last three are data-edit candidates (InsertTuple / DeleteTuple
+        # / ChangeTuple): every Q1 table is keyless, so they now ride the
+        # warm path via incremental base-tuple edits after the restore.
         return [
             RepairCandidate(edits=(ChangeConstant("r7", 0, "right", 2, 3),),
                             cost=1.1, description="r7: Swi==2 -> Swi==3"),
             RepairCandidate(edits=(DeleteSelection("r7", 0, "Swi == 2"),),
                             cost=2.0, description="r7: delete Swi==2"),
+            RepairCandidate(
+                edits=(InsertTuple(NDTuple("FlowTable", (3, 101, 80, 2))),),
+                cost=3.0, description="insert FlowTable(3,101,80,2)"),
+            RepairCandidate(
+                edits=(DeleteTuple(NDTuple("WebLoadBalancer", ("C", 103, 1))),),
+                cost=3.1, description="delete WebLoadBalancer(C,103,1)"),
+            RepairCandidate(
+                edits=(ChangeTuple(NDTuple("WebLoadBalancer", ("C", 101, 2)),
+                                   2, 1),),
+                cost=3.2, description="WebLoadBalancer(C,101): port 2 -> 1"),
         ]
     if name == "Q2":
         return [
@@ -130,9 +143,10 @@ def test_warm_matches_cold(scenarios, cold_snapshots, candidate_sets, name,
     assert report_snapshot(report) == cold_snapshots[(name, cls.__name__)]
     assert backtester.warm_hits + backtester.warm_fallbacks == \
         len(candidate_sets[name])
-    # The Q1-Q4 rule edits all qualify for the warm path.  Q5 splits: the
-    # f1 edit feeds the keyed Learned table (delta-ineligible, cold
-    # fallback) while deleting f2 only touches the keyless FlowTable cone.
+    # The Q1-Q4 edits — including Q1's data-edit candidates — all qualify
+    # for the warm path.  Q5 splits: the f1 edit feeds the keyed Learned
+    # table (delta-ineligible, cold fallback) while deleting f2 only
+    # touches the keyless FlowTable cone.
     if name == "Q5":
         assert backtester.warm_hits == 1
         assert backtester.warm_fallbacks == 1
@@ -141,14 +155,15 @@ def test_warm_matches_cold(scenarios, cold_snapshots, candidate_sets, name,
 
 
 @pytest.mark.parametrize("cls", BACKTESTERS)
-def test_ineligible_delta_falls_back_mid_run(scenarios, cls):
-    """A data-edit candidate (delta-ineligible) rides along with warm ones;
-    the mixed report must equal the all-cold report row for row."""
-    scenario = scenarios["Q1"]
-    flow_tuple = NDTuple("FlowTable", (3, 101, 80, 2))
-    candidates = scenario_candidates("Q1") + [
-        RepairCandidate(edits=(InsertTuple(flow_tuple),), cost=3.0,
-                        description="insert FlowTable(3,101,80,2)"),
+def test_keyed_cone_data_edit_falls_back_mid_run(scenarios, cls):
+    """A data edit into a keyed table (Q5's manual ``Learned`` insertion,
+    Table 6d candidate I) is warm-ineligible and rides along cold; the
+    mixed report must equal the all-cold report row for row."""
+    scenario = scenarios["Q5"]
+    learned = NDTuple("Learned", ("C", 9, 21, 5))
+    candidates = scenario_candidates("Q5") + [
+        RepairCandidate(edits=(InsertTuple(learned),), cost=3.0,
+                        description="manually insert Learned(C,9,21,5)"),
     ]
     warm = cls(scenario, ks_threshold=scenario.ks_threshold)
     cold = cls(scenario, ks_threshold=scenario.ks_threshold,
@@ -156,8 +171,10 @@ def test_ineligible_delta_falls_back_mid_run(scenarios, cls):
     warm_report = warm.evaluate_all(candidates)
     cold_report = cold.evaluate_all(candidates)
     assert report_snapshot(warm_report) == report_snapshot(cold_report)
-    assert warm.warm_hits == 2
-    assert warm.warm_fallbacks == 1
+    # f1's rule edit already falls back (keyed Learned cone); so does the
+    # Learned data edit.  Only the f2 deletion stays warm.
+    assert warm.warm_hits == 1
+    assert warm.warm_fallbacks == 2
 
 
 def test_warm_with_batched_replay(scenarios, cold_snapshots, candidate_sets):

@@ -195,7 +195,8 @@ def test_degrades_to_spawn_when_fork_is_missing(scenarios, serial_snapshots,
     monkeypatch.setattr(replay_module, "fork_available", lambda: False)
     monkeypatch.setattr(distrib, "Scheduler", SpyScheduler)
     scenario = scenarios["Q2"]
-    report = Backtester(scenario, ks_threshold=scenario.ks_threshold
+    report = Backtester(scenario, ks_threshold=scenario.ks_threshold,
+                        parallel_min_seconds=0.0
                         ).evaluate_all(candidate_sets["Q2"], workers=2)
     assert used == ["spawn"]
     assert report_snapshot(report) == serial_snapshots[("Q2", "Backtester")]

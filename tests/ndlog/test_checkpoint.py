@@ -62,15 +62,20 @@ def links(pairs):
 
 
 def engine_fingerprint(engine):
-    """Everything restore() promises to rewind, in comparable form."""
+    """Everything restore() promises to rewind, in comparable form.
+
+    Indexes are lazy (a column materialises on first probe, possibly between
+    the two fingerprints being compared), so instead of comparing the bucket
+    dicts structurally we assert they are *consistent* with the live tuple
+    sets — which, combined with the tuple-set comparison, pins the same
+    observable lookup behaviour.
+    """
     db = engine.database
+    assert db.index_consistent()
     return (
         {table: frozenset(tuples) for table, tuples in db._tables.items()
          if tuples},
         dict(db._flags),
-        {table: {key: frozenset(bucket) for key, bucket in index.items()
-                 if bucket}
-         for table, index in db._indexes.items() if index},
         {head: frozenset(supports)
          for head, supports in engine._supports.items()},
         {member: frozenset(deps)

@@ -18,10 +18,14 @@ if _BENCHMARKS_DIR not in sys.path:
 from bench_engine_micro import (  # noqa: E402
     SMOKE_DELETE_SIZE,
     SMOKE_JOIN_SIZE,
+    SMOKE_RULE_SCALE,
+    SMOKE_RULE_SCALING_INSERTS,
     compare_engines,
     run_delete_workload,
     run_insert_workload,
+    run_rule_scaling_workload,
 )
+from repro.ndlog import Engine, NaiveEngine  # noqa: E402
 
 
 def test_join_insert_smoke():
@@ -34,6 +38,17 @@ def test_join_insert_smoke():
     assert indexed_elapsed < naive_elapsed, (
         f"indexed join slower than naive scan: "
         f"{indexed_elapsed:.4f}s vs {naive_elapsed:.4f}s")
+
+
+def test_rule_scaling_smoke():
+    """The Figure 10-style wide-program workload agrees with the oracle."""
+    _build, _insert, indexed_derived = run_rule_scaling_workload(
+        Engine, SMOKE_RULE_SCALE, SMOKE_RULE_SCALING_INSERTS)
+    _build, _insert, naive_derived = run_rule_scaling_workload(
+        NaiveEngine, SMOKE_RULE_SCALE, SMOKE_RULE_SCALING_INSERTS)
+    assert indexed_derived == naive_derived, \
+        "wide-program insert sweep diverged from the naive oracle"
+    assert indexed_derived, "the scaling workload should derive tuples"
 
 
 def test_delete_smoke():
