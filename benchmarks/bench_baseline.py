@@ -36,6 +36,10 @@ Measured workloads:
 * ``distrib.*`` — the same candidate set through the distributed backtest
   fabric (``repro.distrib``): a ``workers=N`` scaling row per transport
   (spawn coordinator always; socket coordinator in full runs);
+* ``telemetry_overhead`` — the quiet join_insert workload with telemetry
+  off vs a ``repro.obs`` tracer attached (schema v6): the disabled
+  number is the free-when-off claim, the traced one prices the
+  ``trace_fixpoints`` deep-dive mode;
 * ``smoke_reference`` — smoke-size timings recorded alongside every run,
   which ``tests/perf/test_bench_regress.py`` (the ``bench_regress``
   marker) re-measures on each tier-1 run and compares with a generous
@@ -89,7 +93,7 @@ from repro.repair.apply import apply_candidate  # noqa: E402
 from repro.scenarios import build_scenario  # noqa: E402
 from repro.sdn.network import NetworkSimulator  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -208,6 +212,39 @@ def bench_engine(join_size: int, delete_size: int,
             "plan_cache_misses": misses,
         }
     return out
+
+
+def bench_telemetry_overhead(join_size: int) -> Dict:
+    """Quiet join_insert with telemetry off vs a tracer attached (schema v6).
+
+    Disabled mode is the engine exactly as backtest workers run it — the
+    telemetry counters are two unconditional integer adds per fixpoint plus
+    one ``tracer is None`` check per insert, so this row *is* the
+    free-when-off claim, tracked against ``engine.join_insert``.  Traced
+    mode attaches a ``repro.obs`` tracer (the ``trace_fixpoints`` deep-dive
+    configuration), opening one span per insert-triggered fixpoint; the
+    recorded factor documents what that costs when someone opts in.
+    """
+    from repro.obs import Tracer
+
+    class _TracedEngine(Engine):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.tracer = Tracer()
+
+    disabled_seconds, disabled_result = _measure(
+        run_insert_workload_quiet, Engine, join_size)
+    traced_seconds, traced_result = _measure(
+        run_insert_workload_quiet, _TracedEngine, join_size)
+    assert disabled_result == traced_result, \
+        "attaching a tracer changed engine results — telemetry must observe"
+    return {
+        "size": join_size,
+        "disabled_seconds": disabled_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_factor": (traced_seconds / disabled_seconds
+                            if disabled_seconds else None),
+    }
 
 
 def _timed_backtest(factory, candidates, workers: Optional[int] = None):
@@ -439,7 +476,8 @@ def _smoke_warm_vs_cold() -> Dict:
 
 def _smoke_reference(workers: int, engine: Optional[Dict] = None,
                      fig9b: Optional[Dict] = None,
-                     warm_row: Optional[Dict] = None) -> Dict:
+                     warm_row: Optional[Dict] = None,
+                     telemetry_row: Optional[Dict] = None) -> Dict:
     """Smoke-size timings recorded with every baseline.
 
     ``tests/perf/test_bench_regress.py`` re-measures exactly these
@@ -461,6 +499,9 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
             },
             "warm_vs_cold": (warm_row if warm_row is not None
                              else _smoke_warm_vs_cold()),
+            "telemetry_overhead": (
+                telemetry_row if telemetry_row is not None
+                else bench_telemetry_overhead(SMOKE_JOIN_SIZE)),
             "workers": workers,
         }
     scenario = build_scenario("Q1", repetitions=1)
@@ -481,6 +522,7 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
             "packet_count": report.packet_count,
         },
         "warm_vs_cold": _smoke_warm_vs_cold(),
+        "telemetry_overhead": bench_telemetry_overhead(SMOKE_JOIN_SIZE),
         "workers": workers,
     }
 
@@ -516,6 +558,8 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
     distrib = bench_distrib(scenario, candidates, workers,
                             reference_accepted, include_socket=not smoke)
     static_vet = bench_static_vet(scenario)
+    telemetry_overhead = bench_telemetry_overhead(
+        SMOKE_JOIN_SIZE if smoke else BENCH_JOIN_SIZE)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "recorded_unix": time.time(),
@@ -530,9 +574,11 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         "warm_vs_cold": warm_vs_cold,
         "distrib": distrib,
         "static_vet": static_vet,
+        "telemetry_overhead": telemetry_overhead,
         "smoke_reference": (
             _smoke_reference(workers, engine, fig9b,
-                             warm_row=warm_vs_cold["fig9b_workload"])
+                             warm_row=warm_vs_cold["fig9b_workload"],
+                             telemetry_row=telemetry_overhead)
             if smoke else _smoke_reference(workers)),
     }
     if output is not None:
@@ -577,6 +623,10 @@ def main(argv=None) -> int:
     print(f"{'static_vet':>24} {vet['seconds_with_vet']:>10.3f} "
           f"(unvetted {vet['seconds_without_vet']:.3f}, "
           f"{vet['vetoed']}/{vet['candidates']} vetoed)")
+    tele = payload["telemetry_overhead"]
+    print(f"{'telemetry_overhead':>24} {tele['disabled_seconds']:>10.4f} "
+          f"(traced {tele['traced_seconds']:.4f}, "
+          f"{tele['overhead_factor']:.2f}x when on)")
     for label, entry in payload["warm_vs_cold"].items():
         print(f"{'warm_vs_cold.' + label:>24} "
               f"{entry['warm_setup_seconds']:>10.4f} "

@@ -26,7 +26,7 @@ from ..events import (BacktestProgress, CandidateAborted, CandidateFound,
                       SessionEvent, SessionFinished, SessionStarted,
                       StageFinished, StageStarted, WarmEngineStats,
                       event_from_wire, progress_to_events)
-from .config import ConfigError, RepairConfig
+from .config import ConfigError, RepairConfig, TelemetryConfig
 from .session import DiagnosisReport, PhaseTimings, RepairSession, repair
 from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
                      GenerateStage, RankStage, Stage, StageError)
@@ -37,6 +37,6 @@ __all__ = [
     "EventBus", "GenerateStage", "JsonlEventWriter", "PhaseTimings",
     "RankStage", "RepairConfig", "RepairSession", "SessionEvent",
     "SessionFinished", "SessionStarted", "Stage", "StageError",
-    "StageFinished", "StageStarted", "WarmEngineStats", "event_from_wire",
-    "progress_to_events", "repair",
+    "StageFinished", "StageStarted", "TelemetryConfig", "WarmEngineStats",
+    "event_from_wire", "progress_to_events", "repair",
 ]

@@ -34,6 +34,40 @@ class ConfigError(ValueError):
 
 
 @dataclass
+class TelemetryConfig:
+    """Knobs for the observability layer (:mod:`repro.obs`).
+
+    ``RepairConfig.telemetry`` is ``None`` when telemetry is off — the
+    default — so disabled runs construct nothing.
+    """
+
+    #: Master switch; ``TelemetryConfig()`` alone means "on".
+    enabled: bool = True
+    #: Emit a ``replay.slice`` span every N packets during candidate
+    #: replays (``None`` = no slice spans, just per-candidate replay spans).
+    slice_packets: Optional[int] = None
+    #: Capture a cProfile per pipeline stage (pstats text tables on
+    #: ``telemetry.profiles``).
+    profile: bool = False
+    #: Attach the tracer to replay engines so every PacketIn fixpoint gets
+    #: its own span (``engine.fixpoint``) — verbose; for deep dives only.
+    trace_fixpoints: bool = False
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"enabled": self.enabled, "slice_packets": self.slice_packets,
+                "profile": self.profile,
+                "trace_fixpoints": self.trace_fixpoints}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "TelemetryConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(wire) - known
+        if unknown:
+            raise ConfigError(f"unknown telemetry keys: {sorted(unknown)}")
+        return cls(**wire)
+
+
+@dataclass
 class RepairConfig:
     """Every knob of the Diagnose → Generate → Backtest → Rank pipeline."""
 
@@ -87,6 +121,11 @@ class RepairConfig:
     transport: Optional[str] = None
     #: Extra keyword arguments for the transport (e.g. socket ``port``).
     transport_options: Dict[str, object] = field(default_factory=dict)
+
+    # -- Observability ---------------------------------------------------
+    #: Tracing/metrics/profiling knobs; ``None`` = telemetry off (the
+    #: disabled path constructs nothing and costs nothing).
+    telemetry: Optional[TelemetryConfig] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -147,7 +186,7 @@ class RepairConfig:
             warm_engine=self.warm_engine,
             static_vet=self.static_vet)
 
-    def make_scheduler(self, progress=None, events=None):
+    def make_scheduler(self, progress=None, events=None, telemetry=None):
         """The configured distributed scheduler, or ``None`` for local runs.
 
         This is the single construction path from declarative knobs to a
@@ -157,7 +196,18 @@ class RepairConfig:
         if self.transport is None:
             return None
         from ..distrib.coordinator import Scheduler
-        return Scheduler.from_config(self, progress=progress, events=events)
+        return Scheduler.from_config(self, progress=progress, events=events,
+                                     telemetry=telemetry)
+
+    def make_telemetry(self):
+        """A live :class:`repro.obs.Telemetry` bundle, or ``None`` when the
+        ``telemetry`` knob is absent or disabled."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return None
+        from ..obs import Telemetry
+        return Telemetry(slice_packets=self.telemetry.slice_packets,
+                         profile=self.telemetry.profile,
+                         trace_fixpoints=self.telemetry.trace_fixpoints)
 
     # ------------------------------------------------------------------
     # Wire format (rides alongside ScenarioSpec / candidate wires)
@@ -167,9 +217,7 @@ class RepairConfig:
         wire: Dict[str, object] = {}
         for config_field in fields(self):
             value = getattr(self, config_field.name)
-            if config_field.name == "scenario":
-                value = value.to_wire() if value is not None else None
-            elif config_field.name == "abort":
+            if config_field.name in ("scenario", "abort", "telemetry"):
                 value = value.to_wire() if value is not None else None
             wire[config_field.name] = value
         return wire
@@ -185,6 +233,8 @@ class RepairConfig:
             data["scenario"] = ScenarioSpec.from_wire(data["scenario"])
         if data.get("abort") is not None:
             data["abort"] = EarlyAbortPolicy.from_wire(data["abort"])
+        if data.get("telemetry") is not None:
+            data["telemetry"] = TelemetryConfig.from_wire(data["telemetry"])
         try:
             return cls(**data)
         except TypeError as exc:

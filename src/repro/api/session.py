@@ -154,6 +154,14 @@ class RepairSession:
                                         if stages is not None else DEFAULT_STAGES)
         self._scenario = scenario
         self._cost_model = cost_model
+        #: Live telemetry bundle (``None`` when the config's ``telemetry``
+        #: knob is off — the entire observability layer then costs nothing).
+        self.telemetry = self.config.make_telemetry()
+        if self.telemetry is not None:
+            # Trace/span ids ride every event; sink failures land in the
+            # session's metric registry.
+            self.events.stamp = self.telemetry.stamp_event
+            self.events.metrics = self.telemetry.metrics
         #: Intermediate results, keyed by each stage's ``provides`` name.
         self.artifacts: Dict[str, object] = {}
         #: Wall-clock seconds per completed stage, by stage name.
@@ -197,10 +205,26 @@ class RepairSession:
         if missing:
             raise StageError(f"stage {stage.name!r} requires artifacts "
                              f"{missing}; run the earlier stages first")
+        span = profiler = None
+        if self.telemetry is not None:
+            span = self.telemetry.span(f"stage.{stage.name}",
+                                       stage=stage.name)
+            if self.telemetry.profile:
+                from ..obs import StageProfiler
+                profiler = StageProfiler().__enter__()
         self.events.emit(StageStarted(stage=stage.name))
         started = _time.perf_counter()
-        artifact = stage.run(self)
-        elapsed = _time.perf_counter() - started
+        try:
+            artifact = stage.run(self)
+        finally:
+            elapsed = _time.perf_counter() - started
+            if profiler is not None:
+                profiler.__exit__(None, None, None)
+                self.telemetry.profiles[stage.name] = profiler.text
+            if span is not None:
+                span.finish()
+                self.telemetry.metrics.histogram(
+                    "stage_seconds", stage=stage.name).observe(elapsed)
         self.artifacts[stage.provides] = artifact
         self.stage_seconds[stage.name] = elapsed
         self.events.emit(StageFinished(stage=stage.name,
@@ -223,13 +247,21 @@ class RepairSession:
             stages = stages[:cutoff + 1]
         pending = [stage for stage in stages if not self.completed(stage)]
         started = _time.perf_counter()
-        if pending:
-            self.events.emit(SessionStarted(
-                scenario=self._scenario_name(),
-                symptom=self._symptom(),
-                stages=tuple(stage.name for stage in pending)))
-        for stage in pending:
-            self.run_stage(stage)
+        session_span = None
+        if pending and self.telemetry is not None:
+            session_span = self.telemetry.span(
+                "session", scenario=self._scenario_name())
+        try:
+            if pending:
+                self.events.emit(SessionStarted(
+                    scenario=self._scenario_name(),
+                    symptom=self._symptom(),
+                    stages=tuple(stage.name for stage in pending)))
+            for stage in pending:
+                self.run_stage(stage)
+        finally:
+            if session_span is not None:
+                session_span.finish()
         report = self.report()
         if pending and report is not None and (until is None
                                                or until == self.stages[-1].name):

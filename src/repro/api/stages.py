@@ -100,10 +100,13 @@ class BacktestStage(Stage):
         from ..ndlog.plan import PLAN_CACHE
 
         config = session.config
+        telemetry = session.telemetry
         backtester = config.make_backtester(session.scenario)
+        backtester.telemetry = telemetry
         session.backtester = backtester
         candidates = session.artifacts["exploration"].candidates
-        scheduler = config.make_scheduler(events=session.events)
+        scheduler = config.make_scheduler(events=session.events,
+                                          telemetry=telemetry)
         plan_cache_before = PLAN_CACHE.stats()
         try:
             if scheduler is not None:
@@ -143,7 +146,34 @@ class BacktestStage(Stage):
                 probe_misses=probes["inert_probe_misses"],
                 plan_cache_hits=plan_hits,
                 plan_cache_misses=plan_misses))
+        if telemetry is not None:
+            self._record_metrics(telemetry, backtester, report, probes,
+                                 plan_hits, plan_misses)
         return report
+
+    @staticmethod
+    def _record_metrics(telemetry, backtester, report, probes, plan_hits,
+                        plan_misses) -> None:
+        """Consolidate the stage's scattered counters into the registry.
+
+        These are the ad-hoc numbers that used to live only on backtester
+        attributes and the WarmEngineStats event; with telemetry on they
+        become first-class metrics (``repro stats``, Prometheus dump).
+        """
+        metrics = telemetry.metrics
+        metrics.counter("plan_cache_hits").inc(plan_hits)
+        metrics.counter("plan_cache_misses").inc(plan_misses)
+        metrics.counter("warm_hits").inc(backtester.warm_hits)
+        metrics.counter("warm_fallbacks").inc(backtester.warm_fallbacks)
+        metrics.counter("candidates_vetoed").inc(backtester.vetoed)
+        metrics.counter("probe_hits").inc(probes["inert_probe_hits"])
+        metrics.counter("probe_misses").inc(probes["inert_probe_misses"])
+        metrics.counter("candidates_backtested").inc(len(report.results))
+        metrics.gauge("backtest_packet_count").set(report.packet_count)
+        if report.elapsed_seconds:
+            metrics.gauge("packets_replayed_per_second").set(
+                report.packet_count * max(1, len(report.results))
+                / report.elapsed_seconds)
 
 
 class RankStage(Stage):

@@ -364,6 +364,7 @@ class MultiQueryBacktester(Backtester):
         survivors, vetoed = self._prefilter(all_candidates)
         outcomes = self._run_candidates(survivors, workers, scheduler,
                                         progress=progress)
+        self._absorb_outcomes(outcomes)
         for outcome in self._merge_results(report, len(all_candidates),
                                            outcomes, vetoed):
             report.shared_evaluations += outcome.shared_evaluations

@@ -56,7 +56,21 @@ _WORKER_STATE: Optional[Tuple[object, Sequence[RepairCandidate], object]] = None
 def _evaluate_shard(index: int):
     """Top-level pool worker: evaluate one candidate from inherited state."""
     backtester, candidates, trunk = _WORKER_STATE
-    outcome = backtester._evaluate_for_shard(candidates[index], trunk)
+    telemetry = backtester.telemetry
+    if telemetry is None:
+        outcome = backtester._evaluate_for_shard(candidates[index], trunk)
+    else:
+        # The forked child inherited the parent's tracer (open stage span
+        # included); explicit ``.f<index>`` ids keep sibling children from
+        # colliding, and only spans/metrics accrued *here* ship back.
+        mark = telemetry.fork_capture()
+        parent_id = telemetry.tracer.context().span_id
+        candidate = candidates[index]
+        with telemetry.span("candidate", span_id=f"{parent_id}.f{index}",
+                            index=index, tag=candidate.tag,
+                            description=candidate.description):
+            outcome = backtester._evaluate_for_shard(candidate, trunk)
+        outcome.spans, outcome.metrics = telemetry.fork_collect(mark)
     # The candidate (with its meta-provenance tree) stays in the parent;
     # shipping only the stripped result keeps pickling cheap and robust.
     outcome.result.candidate = None
@@ -87,6 +101,11 @@ class ShardOutcome:
     result: "BacktestResult"
     shared_evaluations: int = 0
     candidate_evaluations: int = 0
+    #: Telemetry piggyback: span wire dicts finished in the worker during
+    #: this evaluation plus a metrics-registry delta.  Empty/None when
+    #: telemetry is off or the evaluation ran in the parent process.
+    spans: List[dict] = field(default_factory=list)
+    metrics: Optional[dict] = None
 
 
 class WarmEvaluationState:
@@ -294,6 +313,12 @@ class Backtester:
         self.warm_fallbacks = 0
         self.vetoed = 0
         self._baseline: Optional[TrafficStats] = None
+        #: Live :class:`repro.obs.Telemetry` bundle, attached by the
+        #: session stage or a distrib job runtime.  ``None`` (the default)
+        #: keeps every replay path span-free and cost-free — this is a
+        #: runtime object and deliberately not a constructor knob, so it
+        #: never crosses the job wire inside backtester config fields.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Runs
@@ -374,15 +399,72 @@ class Backtester:
             require_packet_out=self.scenario.require_packet_out,
             record_ingress=False)
 
+    def _engine_counters(self, simulator) -> Optional[Dict[str, int]]:
+        """Sample the replay engine's monotone telemetry counters."""
+        engine = getattr(simulator.controller, "engine", None)
+        if engine is None or not hasattr(engine, "telemetry_counters"):
+            return None
+        return engine.telemetry_counters()
+
+    def _traced_replay(self, simulator, span) -> TrafficStats:
+        """Replay the whole trace under an open ``replay`` span.
+
+        Engine fixpoint/derivation counters are sampled before and after
+        (delta attrs on the span plus registry counters); with
+        ``slice_packets`` configured the trace replays in chunks, each
+        under its own ``replay.slice`` span — chunked ``run_trace`` is the
+        same execution the early-abort path performs, so statistics stay
+        bit-identical to the one-shot replay.
+        """
+        telemetry = self.telemetry
+        if telemetry.trace_fixpoints:
+            engine = getattr(simulator.controller, "engine", None)
+            if engine is not None and hasattr(engine, "tracer"):
+                engine.tracer = telemetry.tracer
+        before = self._engine_counters(simulator)
+        trace = self._trace()
+        slice_size = telemetry.slice_packets
+        if slice_size:
+            for offset in range(0, len(trace), slice_size):
+                chunk = trace[offset:offset + slice_size]
+                with telemetry.span("replay.slice", offset=offset,
+                                    packets=len(chunk)) as slice_span:
+                    slice_before = self._engine_counters(simulator)
+                    simulator.run_trace(chunk,
+                                        batch_size=self.replay_batch_size)
+                    self._span_engine_delta(slice_span, slice_before,
+                                            self._engine_counters(simulator))
+        else:
+            simulator.run_trace(trace, batch_size=self.replay_batch_size)
+        after = self._engine_counters(simulator)
+        self._span_engine_delta(span, before, after, record_metrics=True)
+        span.set("packets", len(trace))
+        telemetry.metrics.counter("packets_replayed").inc(len(trace))
+        return simulator.stats
+
+    def _span_engine_delta(self, span, before, after,
+                           record_metrics: bool = False) -> None:
+        if before is None or after is None:
+            return
+        for key, value in after.items():
+            delta = value - before.get(key, 0)
+            span.set(key, delta)
+            if record_metrics and delta:
+                self.telemetry.metrics.counter(key).inc(delta)
+
     def evaluate(self, candidate: RepairCandidate) -> BacktestResult:
         started = _time.perf_counter()
         repaired = apply_candidate(self.scenario.program, candidate)
         abort_note = None
         if self.abort_policy is None:
             simulator = self._replay_simulator(repaired)
-            simulator.run_trace(self._trace(),
-                                batch_size=self.replay_batch_size)
-            stats = simulator.stats
+            if self.telemetry is not None:
+                with self.telemetry.span("replay") as span:
+                    stats = self._traced_replay(simulator, span)
+            else:
+                simulator.run_trace(self._trace(),
+                                    batch_size=self.replay_batch_size)
+                stats = simulator.stats
         else:
             stats, abort_note = self._run_program_with_abort(repaired)
         ks = compare_traffic(self.baseline(), stats)
@@ -395,6 +477,9 @@ class Backtester:
                 and not self._overloads_controller(stats)
             notes = candidate.notes
         elapsed = _time.perf_counter() - started
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(
+                "candidate_replay_seconds").observe(elapsed)
         return BacktestResult(candidate=candidate, stats=stats, ks=ks,
                               effective=effective, accepted=accepted,
                               elapsed_seconds=elapsed, notes=notes)
@@ -527,11 +612,31 @@ class Backtester:
         trunk = self._build_trunk()
         outcomes = []
         for done, candidate in enumerate(candidates, 1):
-            outcome = self._evaluate_for_shard(candidate, trunk)
+            if self.telemetry is not None:
+                with self.telemetry.span("candidate", index=done - 1,
+                                         tag=candidate.tag,
+                                         description=candidate.description):
+                    outcome = self._evaluate_for_shard(candidate, trunk)
+            else:
+                outcome = self._evaluate_for_shard(candidate, trunk)
             outcomes.append(outcome)
             if progress is not None:
                 progress(done, len(candidates), outcome.result)
         return outcomes
+
+    def _absorb_outcomes(self, outcomes) -> None:
+        """Stitch telemetry piggybacked on worker outcomes (fork pool or
+        fabric) into this process's bundle; clear it so a re-absorb (e.g.
+        a cached outcome) cannot double-count."""
+        if self.telemetry is None:
+            return
+        for outcome in outcomes:
+            spans = getattr(outcome, "spans", None)
+            metrics = getattr(outcome, "metrics", None)
+            if spans or metrics:
+                self.telemetry.absorb(spans, metrics)
+                outcome.spans = []
+                outcome.metrics = None
 
     # ------------------------------------------------------------------
     # Static vetting (parent-side, before any replay)
@@ -622,6 +727,7 @@ class Backtester:
         survivors, vetoed = self._prefilter(all_candidates)
         outcomes = self._run_candidates(survivors, workers, scheduler,
                                         progress=progress)
+        self._absorb_outcomes(outcomes)
         self._merge_results(report, len(all_candidates), outcomes, vetoed)
         report.elapsed_seconds = _time.perf_counter() - started
         return report

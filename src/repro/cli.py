@@ -11,12 +11,21 @@ Subcommands (all built on :mod:`repro.api`):
 * ``repro worker --connect HOST:PORT`` — join a socket coordinator as a
   remote backtest worker (alias of the ``repro-worker`` entry point).
 * ``repro scenarios list`` — the registered scenario catalogue.
+* ``repro trace Q1 --out trace.json`` — run the pipeline with telemetry
+  on and write a Chrome ``trace_event`` file (Perfetto-loadable).
+* ``repro stats Q1`` — run the pipeline and print the consolidated
+  metrics registry as Prometheus-style text.
+* ``repro events summarize run.jsonl`` — per-stage and per-candidate
+  timing plus veto/abort tables from a ``--events`` JSONL log.
 
 Every run-shaped command accepts ``--config FILE`` (a JSON
 :class:`~repro.api.RepairConfig`) plus per-knob overrides, streams live
 progress from the session event bus to stderr (``--quiet`` silences it),
 writes machine-readable event logs with ``--events FILE``, and with
-``--json`` prints the final report as JSON on stdout.
+``--json`` prints the final report as JSON on stdout.  Telemetry flags
+(``--trace FILE``, ``--stats FILE``, ``--profile``, ``--trace-slices``,
+``--trace-fixpoints``) switch the observability layer on for any
+run-shaped command.
 """
 
 from __future__ import annotations
@@ -24,10 +33,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
+from dataclasses import replace as _dc_replace
 from typing import List, Optional
 
 from .api import (EventBus, JsonlEventWriter, RepairConfig, RepairSession,
-                  SessionEvent)
+                  SessionEvent, TelemetryConfig)
 from .backtest.abort import EarlyAbortPolicy
 from .backtest.ranking import format_table
 from .scenarios import SCENARIO_BUILDERS, build_scenario
@@ -81,6 +92,21 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
                      help="append the session event stream to FILE as JSONL")
     out.add_argument("--quiet", action="store_true",
                      help="no live progress on stderr")
+    obs = parser.add_argument_group(
+        "telemetry", "any of these switches the observability layer on")
+    obs.add_argument("--trace", metavar="FILE",
+                     help="write a Chrome trace_event file of the run "
+                          "(load in Perfetto or chrome://tracing)")
+    obs.add_argument("--stats", metavar="FILE",
+                     help="write Prometheus-style metrics text "
+                          "('-' for stdout)")
+    obs.add_argument("--profile", action="store_true", default=None,
+                     help="capture a cProfile per pipeline stage "
+                          "(top tables on stderr)")
+    obs.add_argument("--trace-slices", type=int, metavar="N",
+                     help="emit a replay.slice span every N replayed packets")
+    obs.add_argument("--trace-fixpoints", action="store_true", default=None,
+                     help="span every engine fixpoint (verbose; deep dives)")
 
 
 def _config_from_args(args, require_scenario: bool = True) -> RepairConfig:
@@ -131,6 +157,19 @@ def _config_from_args(args, require_scenario: bool = True) -> RepairConfig:
             ks_slack=(args.abort_ks_slack if args.abort_ks_slack is not None
                       else base.ks_slack),
             min_fraction=base.min_fraction)
+    telemetry_updates = {}
+    if getattr(args, "profile", None):
+        telemetry_updates["profile"] = True
+    if getattr(args, "trace_slices", None) is not None:
+        telemetry_updates["slice_packets"] = args.trace_slices
+    if getattr(args, "trace_fixpoints", None):
+        telemetry_updates["trace_fixpoints"] = True
+    if (telemetry_updates or getattr(args, "trace", None)
+            or getattr(args, "stats", None)
+            or getattr(args, "force_telemetry", False)):
+        base_telemetry = config.telemetry or TelemetryConfig()
+        updates["telemetry"] = _dc_replace(base_telemetry, enabled=True,
+                                           **telemetry_updates)
     return config.with_updates(**updates) if updates else config
 
 
@@ -178,6 +217,31 @@ class _LiveRenderer:
         return None
 
 
+def _emit_telemetry(session, args) -> None:
+    """Write the run's trace/metrics/profile artifacts the flags asked for."""
+    telemetry = session.telemetry
+    if telemetry is None:
+        return
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        telemetry.write_chrome(trace_path)
+        if not args.quiet:
+            print(f"-- trace {telemetry.trace_id}: "
+                  f"{len(telemetry.tracer.finished)} spans -> {trace_path}",
+                  file=sys.stderr)
+    stats_path = getattr(args, "stats", None)
+    if stats_path:
+        text = telemetry.prometheus()
+        if stats_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(stats_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    if getattr(args, "profile", None) and telemetry.profiles:
+        for stage, table in telemetry.profiles.items():
+            print(f"-- profile: {stage}\n{table}", file=sys.stderr)
+
+
 def _run_session(args) -> "tuple":
     """Build the configured session from CLI args and run it."""
     config = _config_from_args(args)
@@ -194,6 +258,7 @@ def _run_session(args) -> "tuple":
     finally:
         if log_handle is not None:
             log_handle.close()
+    _emit_telemetry(session, args)
     return session, report
 
 
@@ -352,6 +417,153 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run the pipeline with tracing on and write a Chrome trace file."""
+    args.trace = args.trace or args.out
+    session, _ = _run_session(args)
+    telemetry = session.telemetry
+    from .obs import validate_chrome_trace
+    info = validate_chrome_trace(telemetry.chrome_trace())
+    if args.json:
+        print(json.dumps({
+            "trace_id": telemetry.trace_id,
+            "file": args.trace,
+            "spans": info["span_count"],
+            "pids": sorted(info["pids"]),
+            "names": sorted(info["names"]),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"trace {telemetry.trace_id}: {info['span_count']} spans over "
+          f"{len(info['pids'])} process(es) -> {args.trace}")
+    by_name = Counter()
+    for span in telemetry.tracer.finished:
+        by_name[span["name"]] += 1
+    for name, count in sorted(by_name.items()):
+        print(f"  {name:20s} {count:5d}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Run the pipeline with metrics on and print the registry."""
+    args.force_telemetry = True
+    if not args.stats and not args.json:
+        args.stats = "-"
+    session, _ = _run_session(args)
+    if args.json:
+        print(json.dumps(session.telemetry.metrics.snapshot(),
+                         indent=2, sort_keys=True))
+    return 0
+
+
+def _read_event_log(path):
+    from .api import event_from_wire
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_wire(json.loads(line)))
+    return events
+
+
+def _summarize_sessions(events):
+    """Group a (possibly multi-run) event log into per-session summaries."""
+    sessions = []
+    current = None
+    for event in events:
+        if event.kind == "session_started" or current is None:
+            current = {"scenario": getattr(event, "scenario", ""),
+                       "symptom": getattr(event, "symptom", ""),
+                       "trace_id": event.trace_id,
+                       "stages": [], "candidates": [], "vetoes": [],
+                       "aborts": [], "finished": None}
+            sessions.append(current)
+        if event.trace_id and not current["trace_id"]:
+            current["trace_id"] = event.trace_id
+        kind = event.kind
+        if kind == "stage_finished":
+            current["stages"].append((event.stage, event.elapsed_seconds))
+        elif kind == "backtest_progress":
+            current["candidates"].append(event)
+        elif kind == "candidate_vetoed":
+            current["vetoes"].append(event)
+        elif kind == "candidate_aborted":
+            current["aborts"].append(event)
+        elif kind == "session_finished":
+            current["finished"] = event
+    return sessions
+
+
+def _cmd_events_summarize(args) -> int:
+    """Digest a ``--events`` JSONL log into timing and verdict tables."""
+    try:
+        events = _read_event_log(args.file)
+    except OSError as exc:
+        print(f"repro events: cannot read {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"repro events: malformed event log {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not events:
+        print(f"repro events: {args.file} holds no events", file=sys.stderr)
+        return 2
+    sessions = _summarize_sessions(events)
+    if args.json:
+        print(json.dumps([{
+            "scenario": s["scenario"],
+            "trace_id": s["trace_id"],
+            "stages": [{"stage": name, "seconds": secs}
+                       for name, secs in s["stages"]],
+            "candidates": [{"description": c.description,
+                            "accepted": c.accepted,
+                            "ks_statistic": c.ks_statistic,
+                            "elapsed_seconds": c.elapsed_seconds,
+                            "aborted": c.aborted} for c in s["candidates"]],
+            "vetoes": [{"description": v.description, "reason": v.reason}
+                       for v in s["vetoes"]],
+            "aborts": [{"description": a.description, "note": a.note}
+                       for a in s["aborts"]],
+        } for s in sessions], indent=2, sort_keys=True))
+        return 0
+    for number, summary in enumerate(sessions, 1):
+        title = summary["scenario"] or "(unknown scenario)"
+        trace = (f" [trace {summary['trace_id']}]"
+                 if summary["trace_id"] else "")
+        print(f"== session {number}: {title}{trace}")
+        total = sum(secs for _, secs in summary["stages"]) or 0.0
+        if summary["stages"]:
+            print("   stage timing:")
+            for name, secs in summary["stages"]:
+                share = (100.0 * secs / total) if total else 0.0
+                print(f"     {name:10s} {secs:8.3f}s  {share:5.1f}%")
+            print(f"     {'total':10s} {total:8.3f}s")
+        candidates = summary["candidates"]
+        if candidates:
+            accepted = sum(1 for c in candidates if c.accepted)
+            print(f"   candidates: {len(candidates)} backtested, "
+                  f"{accepted} accepted, {len(summary['vetoes'])} vetoed, "
+                  f"{len(summary['aborts'])} aborted")
+            slowest = sorted(candidates, key=lambda c: -c.elapsed_seconds)
+            print("   slowest candidates:")
+            for candidate in slowest[:args.top]:
+                verdict = "PASS" if candidate.accepted else "FAIL"
+                print(f"     {candidate.elapsed_seconds:8.3f}s {verdict} "
+                      f"KS={candidate.ks_statistic:.4f} "
+                      f"{candidate.description}")
+        if summary["vetoes"]:
+            print("   vetoes by reason:")
+            reasons = Counter(v.reason for v in summary["vetoes"])
+            for reason, count in reasons.most_common():
+                print(f"     {count:4d}  {reason}")
+        if summary["aborts"]:
+            print("   aborted candidates:")
+            for abort in summary["aborts"]:
+                print(f"     {abort.description} ({abort.note})")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from .distrib.worker import main as worker_main
     return worker_main(["--connect", args.connect])
@@ -422,6 +634,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--quiet", action="store_true",
                       help="no 'clean' confirmation on stderr")
     lint.set_defaults(func=_cmd_lint)
+
+    trace = sub.add_parser(
+        "trace", help="run the pipeline traced and write a Chrome "
+                      "trace_event file")
+    trace.add_argument("scenario", type=str.upper, nargs="?", default=None)
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="trace file to write (default: trace.json)")
+    _add_config_options(trace)
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="run the pipeline and print the metrics registry")
+    stats.add_argument("scenario", type=str.upper, nargs="?", default=None)
+    _add_config_options(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    events = sub.add_parser("events", help="event-log tooling")
+    events_sub = events.add_subparsers(dest="events_command", required=True)
+    summarize = events_sub.add_parser(
+        "summarize", help="per-stage/per-candidate timing and veto/abort "
+                          "tables from an --events JSONL log")
+    summarize.add_argument("file", help="JSONL event log (from --events)")
+    summarize.add_argument("--top", type=int, default=5, metavar="N",
+                           help="slowest candidates to list (default 5)")
+    summarize.add_argument("--json", action="store_true",
+                           help="print the summary as JSON")
+    summarize.set_defaults(func=_cmd_events_summarize)
 
     worker = sub.add_parser(
         "worker", help="join a socket coordinator as a backtest worker")

@@ -48,10 +48,15 @@ class Coordinator:
 
     def __init__(self, transport: BaseTransport,
                  progress: Optional[ProgressCallback] = None,
-                 events: Optional[EventBus] = None):
+                 events: Optional[EventBus] = None,
+                 telemetry=None):
         self.transport = transport
         self.progress = progress
         self.events = events
+        #: Coordinator-side :class:`repro.obs.Telemetry`; when ``None``
+        #: the backtester's own bundle (if any) is used, so a scheduler
+        #: built without explicit telemetry still propagates context.
+        self.telemetry = telemetry
         self._event_progress = (progress_to_events(events)
                                 if events is not None else None)
 
@@ -63,8 +68,18 @@ class Coordinator:
         candidates = list(candidates)
         if not candidates:
             return []
+        telemetry = self.telemetry or getattr(backtester, "telemetry", None)
+        job_span = None
+        if telemetry is not None:
+            # Open the job span *before* building the wire: the wire's
+            # span context is then this span, and every worker-side item
+            # span stitches under it.
+            job_span = telemetry.span("fabric.job",
+                                      transport=self.transport.name,
+                                      candidates=len(candidates))
         job_wire = build_job_wire(backtester, candidates,
-                                  abort_policy=abort_policy)
+                                  abort_policy=abort_policy,
+                                  telemetry=telemetry)
         outcomes: List[Optional[ShardOutcome]] = [None] * len(candidates)
         callbacks = [cb for cb in (self.progress, progress,
                                    self._event_progress) if cb is not None]
@@ -77,10 +92,18 @@ class Coordinator:
                 outcome.result.candidate = candidates[index]
                 outcomes[index] = outcome
                 done += 1
+                if telemetry is not None:
+                    telemetry.metrics.counter("fabric_items").inc()
+                    telemetry.metrics.gauge("fabric_queue_depth").set(
+                        len(candidates) - done)
                 for callback in callbacks:
                     callback(done, len(candidates), outcome.result)
 
-        self.transport.run_job(job_wire, on_result)
+        try:
+            self.transport.run_job(job_wire, on_result)
+        finally:
+            if job_span is not None:
+                job_span.finish()
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
         if missing:
             raise DistribError(f"transport {self.transport.name!r} returned "
@@ -102,6 +125,7 @@ class Scheduler:
                  progress: Optional[ProgressCallback] = None,
                  early_abort: Optional[EarlyAbortPolicy] = None,
                  events: Optional[EventBus] = None,
+                 telemetry=None,
                  **transport_options):
         if isinstance(transport, BaseTransport):
             if transport_options:
@@ -116,11 +140,12 @@ class Scheduler:
         self.workers = workers
         self.early_abort = early_abort
         self._coordinator = Coordinator(self.transport, progress=progress,
-                                        events=events)
+                                        events=events, telemetry=telemetry)
 
     @classmethod
     def from_config(cls, config, progress: Optional[ProgressCallback] = None,
-                    events: Optional[EventBus] = None) -> "Scheduler":
+                    events: Optional[EventBus] = None,
+                    telemetry=None) -> "Scheduler":
         """Build a scheduler from a :class:`repro.api.RepairConfig`.
 
         The single construction path from declarative knobs (transport
@@ -134,6 +159,7 @@ class Scheduler:
                    progress=progress,
                    early_abort=config.abort,
                    events=events,
+                   telemetry=telemetry,
                    **dict(config.transport_options))
 
     def run(self, backtester: Backtester,

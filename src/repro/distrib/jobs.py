@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time as _time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Type
 
@@ -83,8 +85,16 @@ _CONFIG_FIELDS = ("ks_threshold", "alpha", "use_significance", "trace_limit",
 
 def build_job_wire(backtester: Backtester,
                    candidates: Sequence[RepairCandidate],
-                   abort_policy: Optional[EarlyAbortPolicy] = None) -> Dict:
-    """Describe one ``evaluate_all`` call as a JSON-able job dict."""
+                   abort_policy: Optional[EarlyAbortPolicy] = None,
+                   telemetry=None) -> Dict:
+    """Describe one ``evaluate_all`` call as a JSON-able job dict.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) adds a ``"telemetry"``
+    key carrying the coordinator's span context, so worker-side spans
+    stitch under the coordinator's trace.  Like the abort policy, the key
+    is excluded from :func:`job_digest` — a telemetry toggle must not
+    defeat the worker runtime cache.
+    """
     spec = getattr(backtester.scenario, "spec", None)
     if spec is None:
         raise DistribError(
@@ -98,13 +108,16 @@ def build_job_wire(backtester: Backtester,
             f"distributed evaluation; call repro.distrib.register_backtester")
     if abort_policy is None:
         abort_policy = backtester.abort_policy
-    return {
+    job_wire = {
         "spec": spec.to_wire(),
         "backtester": class_name,
         "config": {key: getattr(backtester, key) for key in _CONFIG_FIELDS},
         "abort": abort_policy.to_wire() if abort_policy is not None else None,
         "candidates": [candidate_to_wire(c) for c in candidates],
     }
+    if telemetry is not None:
+        job_wire["telemetry"] = telemetry.context_wire()
+    return job_wire
 
 
 def job_digest(job_wire: Dict) -> str:
@@ -226,6 +239,17 @@ class JobRuntime:
         self.backtester = entry.backtester
         #: The policy is per-job even when the runtime is cached.
         self.backtester.abort_policy = abort_policy
+        #: Worker-side telemetry, seeded from the coordinator's span
+        #: context on the wire.  Per-job like the abort policy — and reset
+        #: unconditionally so a cached runtime from a telemetry-enabled
+        #: job never leaks spans into a disabled one.
+        telemetry_wire = job_wire.get("telemetry")
+        if telemetry_wire is not None:
+            from ..obs import Telemetry
+            self.telemetry = Telemetry.from_job_wire(telemetry_wire)
+        else:
+            self.telemetry = None
+        self.backtester.telemetry = self.telemetry
 
     def __len__(self) -> int:
         return len(self.candidates)
@@ -242,9 +266,34 @@ class JobRuntime:
             candidate = candidate_from_wire(candidate_wire)
             self.candidates[index] = candidate
         entry = self._entry
-        if not entry.trunk_built:
-            entry.trunk = self.backtester._build_trunk()
-            entry.trunk_built = True
-        outcome = self.backtester._evaluate_for_shard(candidate, entry.trunk)
+        telemetry = self.telemetry
+        if telemetry is None:
+            if not entry.trunk_built:
+                entry.trunk = self.backtester._build_trunk()
+                entry.trunk_built = True
+            outcome = self.backtester._evaluate_for_shard(candidate,
+                                                          entry.trunk)
+            outcome.result.candidate = None
+            return outcome
+        # Deterministic cross-process span id: the coordinator's job span
+        # (the wire context) is the parent, the item index disambiguates —
+        # workers never need to coordinate id allocation.
+        parent_id = telemetry.tracer.parent.span_id
+        worker = str(os.getpid())
+        started = _time.perf_counter()
+        with telemetry.span("candidate", span_id=f"{parent_id}.c{index}",
+                            index=index, worker_pid=os.getpid(),
+                            description=(candidate.description or "")):
+            if not entry.trunk_built:
+                with telemetry.span("trunk.build"):
+                    entry.trunk = self.backtester._build_trunk()
+                entry.trunk_built = True
+            outcome = self.backtester._evaluate_for_shard(candidate,
+                                                          entry.trunk)
+        elapsed = _time.perf_counter() - started
+        telemetry.metrics.counter("worker_items", worker=worker).inc()
+        telemetry.metrics.histogram("worker_item_seconds",
+                                    worker=worker).observe(elapsed)
+        outcome.spans, outcome.metrics = telemetry.drain_remote()
         outcome.result.candidate = None
         return outcome

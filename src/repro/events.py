@@ -15,17 +15,23 @@ wire-friendly as the job/candidate/scenario formats of
 :mod:`repro.distrib`: a remote monitor needs nothing but ``json.loads``.
 
 Subscribers must not raise: a broken observer should not kill a repair
-run, so :meth:`EventBus.emit` swallows subscriber exceptions (collecting
-them on :attr:`EventBus.subscriber_errors` for tests and debugging).
+run, so :meth:`EventBus.emit` isolates subscriber exceptions — but not
+silently: each failure increments the ``bus_sink_errors`` metric on the
+bus's :class:`~repro.obs.metrics.MetricsRegistry` and the *first* failure
+of each sink emits a ``RuntimeWarning`` (all failures stay on
+:attr:`EventBus.subscriber_errors` for tests and debugging).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, IO, List, Optional, Tuple, Type
+from typing import Callable, Dict, IO, List, Optional, Set, Tuple, Type
+
+from .obs.metrics import MetricsRegistry
 
 #: Registry of event dataclasses by their ``kind`` string (filled by
 #: :func:`register_event`; used by :func:`event_from_wire`).
@@ -44,6 +50,13 @@ class SessionEvent:
 
     #: Stable machine-readable discriminator, overridden per subclass.
     kind = "event"
+
+    #: Trace correlation (empty when telemetry is off).  Stamped by the
+    #: bus at emit time — see :attr:`EventBus.stamp` — so every event in a
+    #: telemetry-enabled run carries the session's trace id and the span
+    #: that was open when it fired.
+    trace_id: str = ""
+    span_id: str = ""
 
     def to_wire(self) -> Dict[str, object]:
         wire = {"kind": self.kind}
@@ -135,6 +148,9 @@ class BacktestProgress(SessionEvent):
     effective: bool = False
     ks_statistic: float = 0.0
     aborted: bool = False
+    #: Wall-clock seconds spent evaluating this candidate (0.0 when the
+    #: producing path did not measure it).
+    elapsed_seconds: float = 0.0
 
 
 @register_event
@@ -192,20 +208,31 @@ class EventBus:
     """Synchronous fan-out of session events to any number of subscribers.
 
     Emission never raises on behalf of a subscriber; failures are recorded
-    on :attr:`subscriber_errors` so observability cannot break the run.
-    The bus also keeps an optional bounded :attr:`history` (handy for
-    tests and post-run summaries); once ``history_limit`` is exceeded the
-    *oldest* events are dropped, so the tail — ``session_finished``,
-    warm-engine statistics — survives long runs.  Disable with
-    ``keep_history=False``.
+    on :attr:`subscriber_errors`, counted in the ``bus_sink_errors``
+    metric on :attr:`metrics`, and warned about once per sink — so
+    observability cannot break the run but broken observers are no longer
+    invisible.  The bus also keeps an optional bounded :attr:`history`
+    (handy for tests and post-run summaries); once ``history_limit`` is
+    exceeded the *oldest* events are dropped, so the tail —
+    ``session_finished``, warm-engine statistics — survives long runs.
+    Disable with ``keep_history=False``.
     """
 
-    def __init__(self, keep_history: bool = True, history_limit: int = 10_000):
+    def __init__(self, keep_history: bool = True, history_limit: int = 10_000,
+                 metrics: Optional[MetricsRegistry] = None):
         self._subscribers: List[Subscriber] = []
         self.keep_history = keep_history
         self.history_limit = history_limit
         self.history: "deque[SessionEvent]" = deque(maxlen=history_limit)
         self.subscriber_errors: List[Tuple[Subscriber, BaseException]] = []
+        #: Where ``bus_sink_errors`` is counted; a telemetry-enabled
+        #: session points this at its own registry so sink failures show
+        #: up in ``repro stats``.
+        self.metrics: MetricsRegistry = metrics or MetricsRegistry()
+        #: Optional hook applied to every event before fan-out (telemetry
+        #: uses it to stamp trace/span ids).
+        self.stamp: Optional[Callable[[SessionEvent], SessionEvent]] = None
+        self._warned_sinks: Set[int] = set()
 
     def subscribe(self, subscriber: Subscriber) -> Subscriber:
         """Register a callable; returns it (usable as a decorator)."""
@@ -216,6 +243,8 @@ class EventBus:
         self._subscribers.remove(subscriber)
 
     def emit(self, event: SessionEvent) -> None:
+        if self.stamp is not None:
+            event = self.stamp(event)
         if self.keep_history:
             self.history.append(event)
         for subscriber in list(self._subscribers):
@@ -223,6 +252,21 @@ class EventBus:
                 subscriber(event)
             except Exception as exc:   # noqa: BLE001 — observers must not kill runs
                 self.subscriber_errors.append((subscriber, exc))
+                self._record_sink_error(subscriber, exc)
+
+    def _record_sink_error(self, subscriber: Subscriber,
+                           exc: BaseException) -> None:
+        name = (getattr(subscriber, "__qualname__", None)
+                or type(subscriber).__name__)
+        self.metrics.counter("bus_sink_errors", sink=name).inc()
+        key = id(subscriber)
+        if key not in self._warned_sinks:
+            self._warned_sinks.add(key)
+            warnings.warn(
+                f"event sink {name} raised {exc!r}; suppressing further "
+                f"warnings from this sink (failures are still counted in "
+                f"the bus_sink_errors metric)", RuntimeWarning,
+                stacklevel=3)
 
     def of_kind(self, kind: str) -> List[SessionEvent]:
         """History filter: all recorded events with the given ``kind``."""
@@ -258,7 +302,8 @@ def progress_to_events(bus: EventBus) -> Callable:
             done=done, total=total,
             description=result.candidate.description if result.candidate else "",
             accepted=result.accepted, effective=result.effective,
-            ks_statistic=result.ks.statistic, aborted=note is not None))
+            ks_statistic=result.ks.statistic, aborted=note is not None,
+            elapsed_seconds=getattr(result, "elapsed_seconds", 0.0)))
         if note is not None:
             bus.emit(CandidateAborted(
                 description=(result.candidate.description

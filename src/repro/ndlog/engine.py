@@ -403,6 +403,17 @@ class Engine:
         #: :meth:`checkpoint` — non-warm engines pay one None-check per
         #: mutation and nothing else.
         self._journal: Optional[List] = None
+        #: Monotone telemetry counters (:meth:`telemetry_counters`) — two
+        #: unconditional int adds per fixpoint, deliberately *not*
+        #: checkpointed: they report work performed, not logical state, so
+        #: a warm-engine restore must not rewind them.
+        self.fixpoint_count = 0
+        self.tuples_derived_total = 0
+        #: Optional :class:`repro.obs.Tracer`; when attached, each
+        #: insert-triggered fixpoint runs under an ``engine.fixpoint``
+        #: span.  ``None`` (the default) costs one identity check per
+        #: insert and nothing else.
+        self.tracer = None
         self.database.eviction_hook = self._on_evicted
         self._index_rules()
 
@@ -496,7 +507,12 @@ class Engine:
             # advances by the same amount as the INSERT (+ APPEAR) logs.
             fresh = self.database.insert(tup, derived=False)
             self.clock += 2 if fresh else 1
-            derived = self._fixpoint([tup]) if fresh else []
+            if not fresh:
+                derived = []
+            elif self.tracer is None:
+                derived = self._fixpoint([tup])
+            else:
+                derived = self._traced_fixpoint(tup)
             self._cleanup_transients([tup] + derived)
             return derived
         schema = self.database.schema(tup.table)
@@ -505,7 +521,10 @@ class Engine:
         self._log(INSERT, tup, node=node)
         if fresh:
             self._log(APPEAR, tup, node=node)
-        derived = self._fixpoint([tup]) if fresh else []
+            derived = (self._fixpoint([tup]) if self.tracer is None
+                       else self._traced_fixpoint(tup))
+        else:
+            derived = []
         self._cleanup_transients([tup] + derived)
         return derived
 
@@ -1074,7 +1093,34 @@ class Engine:
                     if is_new:
                         newly_derived.append(head)
                         worklist.append(head)
+        self.fixpoint_count += 1
+        self.tuples_derived_total += len(newly_derived)
         return newly_derived
+
+    def _traced_fixpoint(self, tup: NDTuple) -> List[NDTuple]:
+        """One insert-triggered fixpoint under an ``engine.fixpoint`` span.
+
+        Only reached when a :mod:`repro.obs` tracer is attached
+        (``trace_fixpoints``); the plain path never enters here.
+        """
+        with self.tracer.span("engine.fixpoint", table=tup.table) as span:
+            derived = self._fixpoint([tup])
+            span.set("derived", len(derived))
+        return derived
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """Monotone work counters sampled by the observability layer.
+
+        ``rules_fired`` unifies the quiet counter with the recorded
+        derivation history so the number means the same thing for quiet
+        and recording engines.  Cheap enough to sample per replay slice.
+        """
+        return {
+            "engine_fixpoints": self.fixpoint_count,
+            "tuples_derived": self.tuples_derived_total,
+            "rules_fired": self._quiet_firings + len(self.derivations),
+            "index_materializations": self.database.index_materializations,
+        }
 
     def _interp_firings(self, plan: CompiledRule, position: int,
                         trigger: NDTuple):

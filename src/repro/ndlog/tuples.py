@@ -181,6 +181,10 @@ class Database:
         #: Mutation counter per table; invalidates the column-block cache.
         self._epoch: Dict[str, int] = {}
         self._columns_cache: Dict[str, PyTuple[int, PyTuple[tuple, ...]]] = {}
+        #: Monotone count of lazily materialised secondary indexes
+        #: (:meth:`_ensure_column` actually building buckets) — sampled by
+        #: the observability layer; never rewound.
+        self.index_materializations = 0
         #: Called with each tuple evicted by a primary-key update, so an
         #: engine can keep its incremental bookkeeping consistent.
         self.eviction_hook = None
@@ -255,6 +259,7 @@ class Database:
         if column in indexed:
             return
         indexed.add(column)
+        self.index_materializations += 1
         index = self._indexes.setdefault(table, {})
         for tup in self._rows.get(table, ()):
             values = tup.values

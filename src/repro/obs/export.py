@@ -1,0 +1,160 @@
+"""Exporters: JSONL span logs and Chrome ``trace_event`` JSON.
+
+The Chrome exporter emits *duration events* — nested ``ph: "B"`` /
+``ph: "E"`` pairs — grouped per ``(pid, tid)`` track, which is what
+Perfetto and ``chrome://tracing`` load directly.  Nesting is guaranteed by
+construction: spans are arranged into a tree by ``parent_id`` and each
+track is emitted by pre-order walk (``B`` on entry, ``E`` on exit), so a
+track's event stream is always a well-formed bracket sequence regardless
+of clock skew between processes.
+
+``validate_chrome_trace`` is the strict schema check used by tests and the
+CI smoke step: required keys on every event, matching well-nested B/E
+pairs per track, and process-name metadata for every pid.
+"""
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Tuple
+
+from .trace import sort_key
+
+__all__ = ["spans_to_chrome", "spans_to_jsonl", "validate_chrome_trace",
+           "write_chrome_trace"]
+
+
+def spans_to_jsonl(spans: Iterable[Dict[str, Any]], stream: IO[str]) -> int:
+    """Write one JSON line per span wire dict; returns the line count."""
+    count = 0
+    for span in sorted(spans, key=sort_key):
+        stream.write(json.dumps(span, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def _span_tree(spans: List[Dict[str, Any]]):
+    """Group spans into per-(pid, tid) tracks and parent->children maps.
+
+    A span whose parent lives on a *different* track (another process, or
+    a remote context with no exported span) becomes a root of its own
+    track — that is exactly the cross-process stitch point.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    tracks: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    for span in spans:
+        track_key = (span.get("pid", 0), span.get("tid", 0))
+        track = tracks.setdefault(track_key, {"roots": [], "children": {}})
+        parent = by_id.get(span.get("parent_id"))
+        if parent is not None and (parent.get("pid", 0),
+                                   parent.get("tid", 0)) == track_key:
+            track["children"].setdefault(parent["span_id"], []).append(span)
+        else:
+            track["roots"].append(span)
+    return tracks
+
+
+def spans_to_chrome(spans: Iterable[Dict[str, Any]],
+                    trace_id: str = "") -> Dict[str, Any]:
+    """Render span wire dicts as a Chrome ``trace_event`` payload."""
+    span_list = sorted(spans, key=sort_key)
+    events: List[Dict[str, Any]] = []
+    pids = sorted({span.get("pid", 0) for span in span_list})
+    for pid in pids:
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": f"repro pid {pid}"}})
+    tracks = _span_tree(span_list)
+
+    def emit(span: Dict[str, Any], children: Dict[str, list],
+             pid: int, tid: int) -> None:
+        start_us = span["start"] * 1e6
+        end_us = start_us + span["duration"] * 1e6
+        args = dict(span.get("attrs") or {})
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_span_id"] = span["parent_id"]
+        events.append({"ph": "B", "name": span["name"], "cat": "repro",
+                       "ts": start_us, "pid": pid, "tid": tid,
+                       "args": args})
+        kids = sorted(children.get(span["span_id"], ()), key=sort_key)
+        for child in kids:
+            # Clamp children into the parent window so the B/E brackets
+            # stay consistent with the timestamps viewers draw.
+            emit(child, children, pid, tid)
+        events.append({"ph": "E", "name": span["name"], "cat": "repro",
+                       "ts": max(end_us, start_us), "pid": pid, "tid": tid})
+
+    for (pid, tid), track in sorted(tracks.items()):
+        for root in sorted(track["roots"], key=sort_key):
+            emit(root, track["children"], pid, tid)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if trace_id:
+        payload["otherData"] = {"trace_id": trace_id}
+    return payload
+
+
+def write_chrome_trace(spans: Iterable[Dict[str, Any]], path: str,
+                       trace_id: str = "") -> Dict[str, Any]:
+    payload = spans_to_chrome(spans, trace_id=trace_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return payload
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Strict schema check for a Chrome trace_event payload.
+
+    Raises ``ValueError`` on any malformation; returns a summary dict
+    (``pids``, ``tids``, ``span_count``, ``names``) on success.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    stacks: Dict[Tuple[Any, Any], List[str]] = {}
+    named_pids = set()
+    pids, tids, names = set(), set(), set()
+    span_count = 0
+    for event in events:
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event missing required key {key!r}: "
+                                 f"{event!r}")
+        ph = event["ph"]
+        if ph == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            continue
+        if "ts" not in event:
+            raise ValueError(f"non-metadata event missing 'ts': {event!r}")
+        pids.add(event["pid"])
+        tids.add((event["pid"], event["tid"]))
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            names.add(event["name"])
+            stack.append(event["name"])
+            span_count += 1
+        elif ph == "E":
+            if not stack:
+                raise ValueError(f"unmatched 'E' event on track {track}: "
+                                 f"{event['name']!r}")
+            opened = stack.pop()
+            if event.get("name") and event["name"] != opened:
+                raise ValueError(
+                    f"mis-nested B/E pair on track {track}: opened "
+                    f"{opened!r}, closed {event['name']!r}")
+        else:
+            raise ValueError(f"unsupported event phase {ph!r}")
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unclosed 'B' events on track {track}: "
+                             f"{stack!r}")
+    missing = pids - named_pids
+    if missing:
+        raise ValueError(f"pids without process_name metadata: "
+                         f"{sorted(missing)}")
+    if span_count == 0:
+        raise ValueError("trace contains no duration events")
+    return {"pids": sorted(pids), "tids": sorted(tids),
+            "span_count": span_count, "names": sorted(names)}

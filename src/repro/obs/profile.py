@@ -1,0 +1,42 @@
+"""Opt-in per-stage cProfile capture.
+
+Profiling is orthogonal to tracing: a :class:`StageProfiler` wraps one
+pipeline stage in a ``cProfile.Profile`` and renders the hot functions as
+a pstats text table.  The session stores the tables per stage name; the
+CLI can additionally dump raw ``.pstats`` files for ``snakeviz``-style
+tools.
+"""
+
+import cProfile
+import io
+import pstats
+from typing import Optional
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Context manager capturing a cProfile for one stage."""
+
+    def __init__(self, top: int = 25):
+        self.top = top
+        self.profile: Optional[cProfile.Profile] = None
+        self.text: str = ""
+
+    def __enter__(self) -> "StageProfiler":
+        self.profile = cProfile.Profile()
+        self.profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self.profile is not None
+        self.profile.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(self.top)
+        self.text = buffer.getvalue()
+
+    def dump(self, path: str) -> None:
+        """Write the raw profile data (``pstats`` binary format)."""
+        assert self.profile is not None
+        self.profile.dump_stats(path)

@@ -1,0 +1,126 @@
+"""The per-run telemetry bundle: one tracer + one metrics registry.
+
+A :class:`Telemetry` object is created by the session (or a worker, seeded
+from the job wire) when telemetry is enabled; everywhere else the absence
+of telemetry is spelled ``None``, so disabled runs pay no construction and
+no bookkeeping.
+
+Worker flow: the coordinator puts ``telemetry.context_wire()`` on the job
+wire; the worker rebuilds a telemetry bundle with
+:meth:`Telemetry.from_job_wire` (same trace id, remote parent span), runs
+its items, and ships ``drain_remote()`` — finished span wire dicts plus a
+metrics *delta* — back on each item outcome.  The coordinator calls
+:meth:`absorb` to stitch those into the session trace.
+"""
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from .export import (spans_to_chrome, spans_to_jsonl, write_chrome_trace)
+from .metrics import MetricsRegistry, prometheus_text
+from .trace import SpanContext, Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    def __init__(self, trace_id: Optional[str] = None,
+                 parent: Optional[SpanContext] = None,
+                 slice_packets: Optional[int] = None,
+                 profile: bool = False,
+                 trace_fixpoints: bool = False):
+        self.tracer = Tracer(trace_id=trace_id, parent=parent)
+        self.metrics = MetricsRegistry()
+        self.slice_packets = slice_packets
+        self.profile = profile
+        self.trace_fixpoints = trace_fixpoints
+        self.profiles: Dict[str, str] = {}
+        self._shipped = self.metrics.snapshot()
+
+    # -- tracing passthrough ----------------------------------------------
+
+    @property
+    def trace_id(self) -> str:
+        return self.tracer.trace_id
+
+    def span(self, name: str, span_id: Optional[str] = None, **attrs: Any):
+        return self.tracer.span(name, span_id=span_id, **attrs)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return list(self.tracer.finished)
+
+    # -- cross-process propagation ----------------------------------------
+
+    def context_wire(self) -> Dict[str, Any]:
+        """Span context + knobs for the distrib job wire."""
+        context = self.tracer.context()
+        wire = context.to_wire()
+        if self.slice_packets is not None:
+            wire["slice_packets"] = self.slice_packets
+        if self.trace_fixpoints:
+            wire["trace_fixpoints"] = True
+        return wire
+
+    @classmethod
+    def from_job_wire(cls, wire: Dict[str, Any]) -> "Telemetry":
+        return cls(parent=SpanContext.from_wire(wire),
+                   slice_packets=wire.get("slice_packets"),
+                   trace_fixpoints=bool(wire.get("trace_fixpoints")))
+
+    def drain_remote(self) -> Tuple[List[Dict[str, Any]], Dict[str, list]]:
+        """Spans finished + metrics accrued since the last drain (worker
+        side; the pair rides the item outcome back to the coordinator)."""
+        spans = self.tracer.drain()
+        delta = self.metrics.delta_since(self._shipped)
+        self._shipped = self.metrics.snapshot()
+        return spans, delta
+
+    def absorb(self, spans: Optional[List[Dict[str, Any]]],
+               metrics_delta: Optional[Dict[str, list]]) -> None:
+        """Stitch a worker's drained spans/metrics into this bundle."""
+        if spans:
+            self.tracer.ingest(spans)
+        if metrics_delta:
+            self.metrics.merge(metrics_delta)
+
+    def fork_capture(self) -> Tuple[int, Dict[str, list]]:
+        """Mark the current state in a forked child (which inherited the
+        parent's already-finished spans and metrics by copy-on-write)."""
+        return len(self.tracer.finished), self.metrics.snapshot()
+
+    def fork_collect(self, mark: Tuple[int, Dict[str, list]]
+                     ) -> Tuple[List[Dict[str, Any]], Dict[str, list]]:
+        """Spans/metrics accrued since :meth:`fork_capture` — the only part
+        of the child's telemetry that ships back to the parent."""
+        spans = self.tracer.finished[mark[0]:]
+        return spans, self.metrics.delta_since(mark[1])
+
+    # -- event stamping ----------------------------------------------------
+
+    def stamp_event(self, event):
+        """Attach trace/span ids to a frozen SessionEvent (or any frozen
+        dataclass with ``trace_id``/``span_id`` fields)."""
+        if getattr(event, "trace_id", None):
+            return event
+        span_id = self.tracer.current_span_id() or ""
+        try:
+            return dataclasses.replace(event, trace_id=self.trace_id,
+                                       span_id=span_id)
+        except TypeError:
+            return event
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return spans_to_chrome(self.tracer.finished,
+                               trace_id=self.trace_id)
+
+    def write_chrome(self, path: str) -> Dict[str, Any]:
+        return write_chrome_trace(self.tracer.finished, path,
+                                  trace_id=self.trace_id)
+
+    def write_jsonl(self, stream) -> int:
+        return spans_to_jsonl(self.tracer.finished, stream)
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.metrics.snapshot())

@@ -26,7 +26,7 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 5
+    assert payload["schema_version"] == 6
     assert payload["smoke"] is True
 
     engine = payload["engine"]
@@ -93,3 +93,13 @@ def test_baseline_harness_smoke(tmp_path):
     assert vet["replayed_with_vet"] == vet["candidates"] - vet["vetoed"]
     assert vet["replayed_without_vet"] == vet["candidates"]
     assert vet["seconds_with_vet"] > 0 and vet["seconds_without_vet"] > 0
+
+    # Schema v6: the telemetry-overhead row.  The harness asserts that
+    # attaching a tracer leaves the workload result bit-identical; here we
+    # only check the row's shape (the perf comparison lives in the
+    # bench_regress tripwire, with its tolerance).
+    tele = payload["telemetry_overhead"]
+    assert tele["disabled_seconds"] > 0
+    assert tele["traced_seconds"] > 0
+    assert tele["overhead_factor"] > 0
+    assert reference["telemetry_overhead"] == tele   # smoke runs share the row

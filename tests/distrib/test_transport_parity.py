@@ -274,3 +274,80 @@ def test_empty_candidate_list(scenarios):
         report = Backtester(scenario, ks_threshold=scenario.ks_threshold
                             ).evaluate_all([], scheduler=scheduler)
     assert report.results == []
+
+
+# ---------------------------------------------------------------------------
+# Telemetry propagation: worker spans stitch under the coordinator's trace
+# ---------------------------------------------------------------------------
+
+import os
+
+from repro.obs import Telemetry, validate_chrome_trace
+
+
+def _traced_fabric_run(scenario, candidates, scheduler):
+    telemetry = Telemetry()
+    backtester = Backtester(scenario, ks_threshold=scenario.ks_threshold)
+    backtester.telemetry = telemetry
+    report = backtester.evaluate_all(candidates, scheduler=scheduler)
+    return telemetry, report
+
+
+def _assert_stitched(telemetry, candidate_count, cross_process):
+    spans = telemetry.tracer.finished
+    assert {span["trace_id"] for span in spans} == {telemetry.trace_id}
+    job_spans = [span for span in spans if span["name"] == "fabric.job"]
+    assert len(job_spans) == 1
+    job_id = job_spans[0]["span_id"]
+    item_spans = [span for span in spans if span["name"] == "candidate"]
+    assert {span["span_id"] for span in item_spans} == \
+        {f"{job_id}.c{i}" for i in range(candidate_count)}
+    assert all(span["parent_id"] == job_id for span in item_spans)
+    if cross_process:
+        assert any(span["pid"] != os.getpid() for span in item_spans)
+    info = validate_chrome_trace(telemetry.chrome_trace())
+    assert info["span_count"] == len(spans)
+    counters = {name: value for name, _labels, value
+                in telemetry.metrics.snapshot()["counters"]}
+    assert counters.get("fabric_items") == candidate_count
+
+
+def test_spawn_workers_stitch_under_coordinator_trace(
+        scenarios, serial_snapshots, candidate_sets, spawn_scheduler):
+    candidates = candidate_sets["Q1"]
+    telemetry, report = _traced_fabric_run(scenarios["Q1"], candidates,
+                                           spawn_scheduler)
+    _assert_stitched(telemetry, len(candidates), cross_process=True)
+    # Telemetry must never perturb results: bit-identical to serial.
+    assert report_snapshot(report) == serial_snapshots[("Q1", "Backtester")]
+
+
+def test_socket_workers_stitch_under_coordinator_trace(
+        scenarios, serial_snapshots, candidate_sets, socket_scheduler):
+    candidates = candidate_sets["Q2"]
+    telemetry, report = _traced_fabric_run(scenarios["Q2"], candidates,
+                                           socket_scheduler)
+    _assert_stitched(telemetry, len(candidates), cross_process=True)
+    assert report_snapshot(report) == serial_snapshots[("Q2", "Backtester")]
+
+
+def test_inprocess_transport_stitches_without_processes(
+        scenarios, candidate_sets):
+    candidates = candidate_sets["Q1"]
+    with Scheduler(transport="inprocess") as scheduler:
+        telemetry, _ = _traced_fabric_run(scenarios["Q1"], candidates,
+                                          scheduler)
+    _assert_stitched(telemetry, len(candidates), cross_process=False)
+
+
+def test_worker_metrics_merge_into_coordinator_registry(
+        scenarios, candidate_sets, spawn_scheduler):
+    candidates = candidate_sets["Q1"]
+    telemetry, _ = _traced_fabric_run(scenarios["Q1"], candidates,
+                                      spawn_scheduler)
+    snapshot = telemetry.metrics.snapshot()
+    worker_items = [(dict(labels)["worker"], value)
+                    for name, labels, value in snapshot["counters"]
+                    if name == "worker_items"]
+    assert sum(value for _worker, value in worker_items) == len(candidates)
+    assert all(worker != str(os.getpid()) for worker, _value in worker_items)

@@ -1,0 +1,84 @@
+"""EventBus sink errors: counted, warned once per sink, never fatal."""
+
+import warnings
+
+import pytest
+
+from repro.events import EventBus, StageStarted
+from repro.obs import MetricsRegistry
+
+
+class _BrokenSink:
+    def __call__(self, event):
+        raise RuntimeError("sink is broken")
+
+
+def test_sink_error_counted_and_warned_once_per_sink():
+    bus = EventBus()
+    broken = _BrokenSink()
+    seen = []
+    bus.subscribe(broken)
+    bus.subscribe(seen.append)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        bus.emit(StageStarted(stage="diagnose"))
+        bus.emit(StageStarted(stage="generate"))
+    # Delivery to healthy sinks continues.
+    assert [e.stage for e in seen] == ["diagnose", "generate"]
+    # One RuntimeWarning for the broken sink, not one per event.
+    sink_warnings = [w for w in caught
+                     if issubclass(w.category, RuntimeWarning)
+                     and "_BrokenSink" in str(w.message)]
+    assert len(sink_warnings) == 1
+    counters = {(name, tuple(map(tuple, labels))): value
+                for name, labels, value
+                in bus.metrics.snapshot()["counters"]}
+    assert counters[("bus_sink_errors",
+                     (("sink", "_BrokenSink"),))] == 2
+
+
+def test_each_broken_sink_warns_separately():
+    bus = EventBus()
+
+    def bad_one(event):
+        raise ValueError("one")
+
+    def bad_two(event):
+        raise ValueError("two")
+
+    bus.subscribe(bad_one)
+    bus.subscribe(bad_two)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        bus.emit(StageStarted(stage="s"))
+        bus.emit(StageStarted(stage="s"))
+    names = sorted(str(w.message) for w in caught
+                   if issubclass(w.category, RuntimeWarning))
+    assert len(names) == 2
+    assert any("bad_one" in n for n in names)
+    assert any("bad_two" in n for n in names)
+
+
+def test_shared_registry_receives_bus_counters():
+    registry = MetricsRegistry()
+    bus = EventBus(metrics=registry)
+
+    def broken(event):
+        raise RuntimeError("nope")
+
+    bus.subscribe(broken)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        bus.emit(StageStarted(stage="s"))
+    counters = {name for name, _labels, _value
+                in registry.snapshot()["counters"]}
+    assert "bus_sink_errors" in counters
+
+
+def test_history_still_recorded_when_all_sinks_fail():
+    bus = EventBus()
+    bus.subscribe(_BrokenSink())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        bus.emit(StageStarted(stage="s"))
+    assert [e.kind for e in bus.history] == ["stage_started"]

@@ -1,0 +1,139 @@
+"""Exporters: Chrome trace_event structure, validation, JSONL."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (SpanContext, Tracer, spans_to_chrome, spans_to_jsonl,
+                       validate_chrome_trace, write_chrome_trace)
+
+
+def _sample_spans():
+    tracer = Tracer(trace_id="t")
+    with tracer.span("session"):
+        with tracer.span("stage"):
+            with tracer.span("candidate", index=0):
+                pass
+        with tracer.span("stage"):
+            pass
+    return tracer.finished
+
+
+def test_chrome_events_are_nested_b_e_pairs():
+    payload = spans_to_chrome(_sample_spans(), trace_id="t")
+    phases = [e["ph"] for e in payload["traceEvents"]]
+    assert phases == ["M", "B", "B", "B", "E", "E", "B", "E", "E"]
+    assert payload["otherData"] == {"trace_id": "t"}
+    assert payload["displayTimeUnit"] == "ms"
+    info = validate_chrome_trace(payload)
+    assert info["span_count"] == 4
+    assert info["names"] == ["candidate", "session", "stage"]
+
+
+def test_chrome_args_carry_span_identity():
+    payload = spans_to_chrome(_sample_spans())
+    begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+    candidate = next(e for e in begins if e["name"] == "candidate")
+    assert candidate["args"]["trace_id"] == "t"
+    assert candidate["args"]["span_id"] == "1.1.1"
+    assert candidate["args"]["parent_span_id"] == "1.1"
+    assert candidate["args"]["index"] == 0
+
+
+def test_cross_process_spans_get_their_own_track():
+    coordinator = Tracer(trace_id="t")
+    with coordinator.span("job"):
+        pass
+    worker = Tracer(parent=SpanContext("t", "1"))
+    worker.pid = coordinator.pid + 1   # simulate another process
+    with worker.span("item", span_id="1.c0"):
+        pass
+    spans = coordinator.finished + worker.finished
+    payload = spans_to_chrome(spans)
+    info = validate_chrome_trace(payload)
+    assert len(info["pids"]) == 2
+    # Both pids are named via metadata events.
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert {e["pid"] for e in meta} == set(info["pids"])
+
+
+def test_nesting_survives_clock_skew():
+    """A child whose wall-clock start precedes its parent's (cross-process
+    skew) must still emit inside the parent's B/E bracket."""
+    spans = [
+        {"trace_id": "t", "span_id": "1", "parent_id": None, "name": "p",
+         "start": 100.0, "duration": 1.0, "pid": 1, "tid": 1, "attrs": {}},
+        {"trace_id": "t", "span_id": "1.1", "parent_id": "1", "name": "c",
+         "start": 99.0, "duration": 0.5, "pid": 1, "tid": 1, "attrs": {}},
+    ]
+    payload = spans_to_chrome(spans)
+    validate_chrome_trace(payload)
+    phases = [(e["ph"], e["name"]) for e in payload["traceEvents"]
+              if e["ph"] in "BE"]
+    assert phases == [("B", "p"), ("B", "c"), ("E", "c"), ("E", "p")]
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_sample_spans(), str(path), trace_id="t")
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded)["span_count"] == 4
+
+
+def test_validate_rejects_missing_trace_events():
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome_trace({"foo": []})
+
+
+def test_validate_rejects_empty_event_list():
+    with pytest.raises(ValueError, match="non-empty"):
+        validate_chrome_trace({"traceEvents": []})
+
+
+def test_validate_rejects_unmatched_end():
+    events = [{"ph": "E", "name": "x", "pid": 1, "tid": 1, "ts": 0}]
+    with pytest.raises(ValueError, match="unmatched 'E'"):
+        validate_chrome_trace({"traceEvents": events})
+
+
+def test_validate_rejects_mis_nested_pairs():
+    events = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "p"}},
+        {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+        {"ph": "B", "name": "b", "pid": 1, "tid": 1, "ts": 1},
+        {"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 2},
+        {"ph": "E", "name": "b", "pid": 1, "tid": 1, "ts": 3},
+    ]
+    with pytest.raises(ValueError, match="mis-nested"):
+        validate_chrome_trace({"traceEvents": events})
+
+
+def test_validate_rejects_unclosed_begin():
+    events = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "p"}},
+        {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+    ]
+    with pytest.raises(ValueError, match="unclosed 'B'"):
+        validate_chrome_trace({"traceEvents": events})
+
+
+def test_validate_rejects_unnamed_pid():
+    events = [
+        {"ph": "B", "name": "a", "pid": 7, "tid": 1, "ts": 0},
+        {"ph": "E", "name": "a", "pid": 7, "tid": 1, "ts": 1},
+    ]
+    with pytest.raises(ValueError, match="process_name"):
+        validate_chrome_trace({"traceEvents": events})
+
+
+def test_jsonl_export_sorted_and_parseable():
+    stream = io.StringIO()
+    count = spans_to_jsonl(_sample_spans(), stream)
+    lines = stream.getvalue().splitlines()
+    assert count == len(lines) == 4
+    parsed = [json.loads(line) for line in lines]
+    starts = [span["start"] for span in parsed]
+    assert starts == sorted(starts)

@@ -1,0 +1,130 @@
+"""Tracer unit tests: deterministic structural ids, nesting, propagation."""
+
+import os
+
+import pytest
+
+from repro.obs import SpanContext, Tracer
+from repro.obs.trace import sort_key
+
+
+def test_root_span_ids_are_sequential():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    assert [s["span_id"] for s in tracer.finished] == ["1", "2"]
+    assert all(s["parent_id"] is None for s in tracer.finished)
+
+
+def test_nested_span_ids_are_structural():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("mid"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("mid2"):
+            pass
+    ids = {s["name"]: s["span_id"] for s in tracer.finished}
+    assert ids == {"inner": "1.1.1", "mid": "1.1", "mid2": "1.2",
+                   "outer": "1"}
+    parents = {s["name"]: s["parent_id"] for s in tracer.finished}
+    assert parents == {"inner": "1.1", "mid": "1", "mid2": "1",
+                       "outer": None}
+
+
+def test_two_runs_produce_identical_ids():
+    def run():
+        tracer = Tracer(trace_id="t")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        return [(s["span_id"], s["parent_id"], s["name"])
+                for s in tracer.finished]
+
+    assert run() == run()
+
+
+def test_remote_parent_seeds_trace_id_and_parentage():
+    parent = SpanContext("trace-x", "1.3")
+    tracer = Tracer(parent=parent)
+    assert tracer.trace_id == "trace-x"
+    with tracer.span("item"):
+        pass
+    span = tracer.finished[0]
+    assert span["trace_id"] == "trace-x"
+    assert span["span_id"] == "1.3.1"
+    assert span["parent_id"] == "1.3"
+
+
+def test_explicit_span_id_wins():
+    tracer = Tracer(parent=SpanContext("t", "9"))
+    with tracer.span("item", span_id="9.c4", index=4):
+        pass
+    assert tracer.finished[0]["span_id"] == "9.c4"
+
+
+def test_context_tracks_innermost_open_span():
+    tracer = Tracer()
+    assert tracer.context().span_id == "0"
+    with tracer.span("a"):
+        assert tracer.context().span_id == "1"
+        with tracer.span("b"):
+            assert tracer.context().span_id == "1.1"
+        assert tracer.context().span_id == "1"
+    assert tracer.current_span_id() is None
+
+
+def test_span_context_wire_round_trip():
+    context = SpanContext("tid", "1.2.3")
+    assert SpanContext.from_wire(context.to_wire()).to_wire() == \
+        context.to_wire()
+
+
+def test_span_records_pid_and_error():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("fails"):
+            raise RuntimeError("boom")
+    span = tracer.finished[0]
+    assert span["pid"] == os.getpid()
+    assert "boom" in span["attrs"]["error"]
+
+
+def test_exception_unwinding_closes_abandoned_spans():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    tracer.span("abandoned")
+    outer.finish()   # inner span was never finished explicitly
+    assert tracer.current_span_id() is None
+    assert [s["name"] for s in tracer.finished] == ["outer"]
+
+
+def test_drain_and_ingest_move_spans_between_tracers():
+    worker = Tracer(parent=SpanContext("t", "1"))
+    with worker.span("w"):
+        pass
+    shipped = worker.drain()
+    assert worker.finished == []
+    coordinator = Tracer(trace_id="t")
+    coordinator.ingest(shipped)
+    assert [s["name"] for s in coordinator.finished] == ["w"]
+
+
+def test_sink_receives_finished_spans():
+    seen = []
+    tracer = Tracer(sink=seen.append)
+    with tracer.span("a"):
+        pass
+    assert [s["name"] for s in seen] == ["a"]
+
+
+def test_sort_key_orders_by_start_then_id():
+    spans = [{"start": 2.0, "span_id": "1"},
+             {"start": 1.0, "span_id": "2"},
+             {"start": 1.0, "span_id": "1.1"}]
+    ordered = sorted(spans, key=sort_key)
+    assert [s["span_id"] for s in ordered] == ["1.1", "2", "1"]

@@ -148,6 +148,32 @@ def test_warm_setup_smoke_within_tolerance(smoke_reference):
 
 
 @pytest.mark.bench_regress
+def test_telemetry_disabled_within_tolerance(smoke_reference):
+    """Telemetry must be free when off: the disabled-mode quiet join_insert
+    (the engine exactly as backtest workers run it, telemetry counters
+    included) stays within the smoke tolerance of both the recorded
+    telemetry row and the plain ``engine.join_insert`` reference."""
+    recorded = smoke_reference.get("telemetry_overhead")
+    if recorded is None:
+        pytest.skip("BENCH_baseline.json predates the telemetry_overhead "
+                    "row; refresh it with benchmarks/bench_baseline.py")
+    assert recorded["size"] == SMOKE_JOIN_SIZE, \
+        "smoke telemetry workload drifted; refresh BENCH_baseline.json"
+    fresh_seconds, _result = run_insert_workload_quiet(Engine,
+                                                       SMOKE_JOIN_SIZE)
+    for label, reference_seconds in (
+            ("telemetry_overhead.disabled", recorded["disabled_seconds"]),
+            ("engine.join_insert",
+             smoke_reference["engine"]["join_insert"]["indexed_seconds"])):
+        allowed = _allowed(reference_seconds)
+        assert fresh_seconds <= allowed, (
+            f"disabled-telemetry join_insert took {fresh_seconds:.3f}s, "
+            f"allowed {allowed:.3f}s (recorded {label} "
+            f"{reference_seconds:.3f}s) — telemetry is no longer free when "
+            f"off? refresh BENCH_baseline.json if intentional")
+
+
+@pytest.mark.bench_regress
 def test_backtest_smoke_within_tolerance(smoke_reference):
     from bench_baseline import _smoke_candidates
     recorded = smoke_reference["fig9b_sequential"]
