@@ -21,11 +21,13 @@ this API; new code should start here::
     report = session.run()
 """
 
+from ..distrib.faults import FaultPlan, FaultToleranceConfig
 from ..events import (BacktestProgress, CandidateAborted, CandidateFound,
-                      CandidateVetoed, EventBus, JsonlEventWriter,
-                      SessionEvent, SessionFinished, SessionStarted,
-                      StageFinished, StageStarted, WarmEngineStats,
-                      event_from_wire, progress_to_events)
+                      CandidateQuarantined, CandidateVetoed, EventBus,
+                      FabricFaultStats, JsonlEventWriter, SessionEvent,
+                      SessionFinished, SessionStarted, StageFinished,
+                      StageStarted, WarmEngineStats, event_from_wire,
+                      progress_to_events)
 from .config import ConfigError, RepairConfig, TelemetryConfig
 from .session import DiagnosisReport, PhaseTimings, RepairSession, repair
 from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
@@ -33,10 +35,11 @@ from .stages import (DEFAULT_STAGES, BacktestStage, DiagnoseStage,
 
 __all__ = [
     "BacktestProgress", "BacktestStage", "CandidateAborted", "CandidateFound",
-    "CandidateVetoed", "ConfigError", "DEFAULT_STAGES", "DiagnoseStage", "DiagnosisReport",
-    "EventBus", "GenerateStage", "JsonlEventWriter", "PhaseTimings",
-    "RankStage", "RepairConfig", "RepairSession", "SessionEvent",
-    "SessionFinished", "SessionStarted", "Stage", "StageError",
-    "StageFinished", "StageStarted", "TelemetryConfig", "WarmEngineStats",
-    "event_from_wire", "progress_to_events", "repair",
+    "CandidateQuarantined", "CandidateVetoed", "ConfigError", "DEFAULT_STAGES",
+    "DiagnoseStage", "DiagnosisReport", "EventBus", "FabricFaultStats",
+    "FaultPlan", "FaultToleranceConfig", "GenerateStage", "JsonlEventWriter",
+    "PhaseTimings", "RankStage", "RepairConfig", "RepairSession",
+    "SessionEvent", "SessionFinished", "SessionStarted", "Stage",
+    "StageError", "StageFinished", "StageStarted", "TelemetryConfig",
+    "WarmEngineStats", "event_from_wire", "progress_to_events", "repair",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from ..backtest.abort import EarlyAbortPolicy
+from ..distrib.faults import FaultToleranceConfig
 from ..meta.costs import CostModel
 from ..scenarios.spec import ScenarioSpec
 
@@ -121,6 +122,11 @@ class RepairConfig:
     transport: Optional[str] = None
     #: Extra keyword arguments for the transport (e.g. socket ``port``).
     transport_options: Dict[str, object] = field(default_factory=dict)
+    #: Fabric fault-tolerance policy (retry budget, worker restart budget,
+    #: per-item deadlines, degradation floor); ``None`` = the defaults in
+    #: :class:`repro.distrib.FaultToleranceConfig`, which keep fault-free
+    #: runs bit-identical to a fabric without fault tolerance.
+    fault_tolerance: Optional[FaultToleranceConfig] = None
 
     # -- Observability ---------------------------------------------------
     #: Tracing/metrics/profiling knobs; ``None`` = telemetry off (the
@@ -217,7 +223,8 @@ class RepairConfig:
         wire: Dict[str, object] = {}
         for config_field in fields(self):
             value = getattr(self, config_field.name)
-            if config_field.name in ("scenario", "abort", "telemetry"):
+            if config_field.name in ("scenario", "abort", "telemetry",
+                                     "fault_tolerance"):
                 value = value.to_wire() if value is not None else None
             wire[config_field.name] = value
         return wire
@@ -235,6 +242,12 @@ class RepairConfig:
             data["abort"] = EarlyAbortPolicy.from_wire(data["abort"])
         if data.get("telemetry") is not None:
             data["telemetry"] = TelemetryConfig.from_wire(data["telemetry"])
+        if data.get("fault_tolerance") is not None:
+            try:
+                data["fault_tolerance"] = FaultToleranceConfig.from_wire(
+                    data["fault_tolerance"])
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
         try:
             return cls(**data)
         except TypeError as exc:

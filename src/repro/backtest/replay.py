@@ -238,6 +238,10 @@ class BacktestReport:
     #: results are still in :attr:`results` (marked by a ``vetoed`` note),
     #: so ``len(results)`` always equals the candidate count.
     vetoed_count: int = 0
+    #: Candidates the fabric gave up on after exhausting their retry
+    #: budget; like vetoes, their (deterministic, rejected) results stay
+    #: in :attr:`results`, marked by a ``quarantined(<reason>)`` note.
+    quarantined_count: int = 0
 
     def accepted(self) -> List[BacktestResult]:
         return [r for r in self.results if r.accepted]
@@ -729,5 +733,9 @@ class Backtester:
                                         progress=progress)
         self._absorb_outcomes(outcomes)
         self._merge_results(report, len(all_candidates), outcomes, vetoed)
+        report.quarantined_count = sum(
+            1 for result in report.results
+            if any(str(note).startswith("quarantined(")
+                   for note in result.notes))
         report.elapsed_seconds = _time.perf_counter() - started
         return report

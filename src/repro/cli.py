@@ -81,6 +81,9 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
                             "fabric instead of the local path")
     sched.add_argument("--port", type=int,
                        help="listen port for --transport socket")
+    sched.add_argument("--fault-plan", metavar="FILE", dest="fault_plan",
+                       help="JSON FaultPlan injected into the transport "
+                            "(deterministic chaos reproduction)")
     sched.add_argument("--abort-check-every", type=int, metavar="N",
                        help="enable early abort, checking every N packets")
     sched.add_argument("--abort-ks-slack", type=float, metavar="X",
@@ -144,9 +147,17 @@ def _config_from_args(args, require_scenario: bool = True) -> RepairConfig:
         updates["workers"] = args.workers
     if args.transport is not None:
         updates["transport"] = args.transport
+    transport_options = dict(config.transport_options)
     if args.port is not None:
-        updates["transport_options"] = dict(config.transport_options,
-                                            port=args.port)
+        transport_options["port"] = args.port
+    if getattr(args, "fault_plan", None):
+        from .distrib.faults import FaultPlan
+        # Stored as its wire dict so the folded config stays JSON-able;
+        # the transport coerces it back into a FaultPlan.
+        transport_options["fault_plan"] = \
+            FaultPlan.from_file(args.fault_plan).to_wire()
+    if transport_options != config.transport_options:
+        updates["transport_options"] = transport_options
     if args.abort_check_every is not None or args.abort_ks_slack is not None:
         base = config.abort or EarlyAbortPolicy()
         updates["abort"] = EarlyAbortPolicy(
@@ -204,6 +215,16 @@ class _LiveRenderer:
             return f"   aborted: {event.description} ({event.note})"
         if kind == "candidate_vetoed":
             return f"   vetoed ({event.reason}): {event.description}"
+        if kind == "candidate_quarantined":
+            return (f"   quarantined ({event.reason}, "
+                    f"{event.attempts} attempts): {event.description}")
+        if kind == "fabric_fault_stats":
+            degraded = ", degraded to serial" if event.degraded else ""
+            return (f"   fabric recovery: {event.worker_restarts} worker "
+                    f"restart(s), {event.job_retries} retry(ies)"
+                    f"{' [' + event.retry_reasons + ']' if event.retry_reasons else ''}, "
+                    f"{event.quarantined} quarantined, "
+                    f"{event.frame_errors} frame error(s){degraded}")
         if kind == "warm_engine_stats":
             return (f"   warm engine: {event.hits} hits, "
                     f"{event.fallbacks} cold fallbacks; "

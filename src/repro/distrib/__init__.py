@@ -18,21 +18,34 @@ embarrassingly parallel workload into a schedulable fabric:
 
 Every transport is an optimisation, not an approximation: with the abort
 policy off, reports are bit-identical to serial evaluation (asserted
-across Q1-Q5 by ``tests/distrib/test_transport_parity.py``).
+across Q1-Q5 by ``tests/distrib/test_transport_parity.py``).  The same
+holds under faults: :mod:`~repro.distrib.faults` gives every transport a
+retry/restart/quarantine policy (:class:`FaultToleranceConfig`) and a
+deterministic chaos harness (:class:`FaultPlan`), and
+``tests/distrib/test_chaos.py`` asserts reports stay bit-identical under
+injected worker crashes, hangs, disconnects and frame corruption —
+modulo the deterministic quarantine rows of genuinely poisonous
+candidates.
 """
 
 from ..backtest.abort import EarlyAbortPolicy
 from .coordinator import Coordinator, Scheduler
+from .faults import (FAULT_KINDS, FaultAction, FaultInjector, FaultPlan,
+                     FaultStats, FaultToleranceConfig, InjectedFault,
+                     QuarantinedItem)
 from .jobs import (BACKTESTER_CLASSES, DistribError, JobRuntime,
                    RuntimeCache, build_job_wire, job_digest,
                    register_backtester, strip_candidates)
-from .transport import (BaseTransport, InProcessTransport, SocketTransport,
-                        SpawnTransport, TransportError, make_transport)
+from .transport import (BaseTransport, FrameError, InProcessTransport,
+                        SocketTransport, SpawnTransport, TransportError,
+                        make_transport)
 
 __all__ = [
     "BACKTESTER_CLASSES", "BaseTransport", "Coordinator", "DistribError",
-    "EarlyAbortPolicy", "InProcessTransport", "JobRuntime", "RuntimeCache",
-    "Scheduler", "SocketTransport", "SpawnTransport", "TransportError",
-    "build_job_wire", "job_digest", "make_transport", "register_backtester",
-    "strip_candidates",
+    "EarlyAbortPolicy", "FAULT_KINDS", "FaultAction", "FaultInjector",
+    "FaultPlan", "FaultStats", "FaultToleranceConfig", "FrameError",
+    "InProcessTransport", "InjectedFault", "JobRuntime", "QuarantinedItem",
+    "RuntimeCache", "Scheduler", "SocketTransport", "SpawnTransport",
+    "TransportError", "build_job_wire", "job_digest", "make_transport",
+    "register_backtester", "strip_candidates",
 ]

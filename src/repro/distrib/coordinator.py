@@ -9,9 +9,17 @@ they complete.  The coordinator
   reports rely on),
 * re-attaches the caller's candidate objects (workers evaluate stripped
   copies; the meta provenance tree never crosses the wire),
-* invokes an optional **progress callback** per completed candidate, and
+* invokes an optional **progress callback** per completed candidate,
 * forwards an optional :class:`~repro.backtest.abort.EarlyAbortPolicy` so
-  workers can kill a hopeless candidate's replay mid-trace.
+  workers can kill a hopeless candidate's replay mid-trace, and
+* converts transport-level :class:`~repro.distrib.faults.QuarantinedItem`
+  deliveries (items that exhausted their retry budget) into deterministic
+  rejected results — so ``len(results) == len(candidates)`` holds even
+  when a candidate is poisonous — emitting ``candidate_quarantined``
+  events and folding the transport's recovery counters into telemetry
+  (``fabric_worker_restarts``, ``fabric_job_retries{reason=…}``,
+  ``fabric_quarantined``, ``fabric_frame_errors``, retry spans) after
+  each job.
 
 :class:`Scheduler` is the user-facing bundle (transport choice + worker
 count + callbacks) that plugs into ``Backtester.evaluate_all(...,
@@ -29,9 +37,12 @@ import threading
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..backtest.abort import EarlyAbortPolicy
+from ..backtest.metrics import compare_traffic
 from ..backtest.replay import Backtester, BacktestResult, ShardOutcome
-from ..events import EventBus, progress_to_events
+from ..events import (CandidateQuarantined, EventBus, FabricFaultStats,
+                      progress_to_events)
 from ..repair.candidates import RepairCandidate
+from .faults import FaultPlan, FaultStats, FaultToleranceConfig, QuarantinedItem
 from .jobs import DistribError, build_job_wire
 from .transport import BaseTransport, make_transport
 
@@ -77,19 +88,29 @@ class Coordinator:
             job_span = telemetry.span("fabric.job",
                                       transport=self.transport.name,
                                       candidates=len(candidates))
+        # Per-item soft deadline: the timed baseline replay (set by
+        # ``evaluate_all`` before the scheduler runs) estimates one
+        # candidate's cost; the transport's policy scales and floors it.
+        deadline = self.transport.fault_policy.resolve_deadline(
+            getattr(backtester, "_baseline_seconds", None))
         job_wire = build_job_wire(backtester, candidates,
                                   abort_policy=abort_policy,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry,
+                                  deadline=deadline)
         outcomes: List[Optional[ShardOutcome]] = [None] * len(candidates)
         callbacks = [cb for cb in (self.progress, progress,
                                    self._event_progress) if cb is not None]
         done = 0
         lock = threading.Lock()   # socket transports deliver from threads
 
-        def on_result(index: int, outcome: ShardOutcome) -> None:
+        def on_result(index: int, outcome) -> None:
             nonlocal done
             with lock:
-                outcome.result.candidate = candidates[index]
+                if isinstance(outcome, QuarantinedItem):
+                    outcome = self._quarantine(backtester, candidates[index],
+                                               outcome, telemetry)
+                else:
+                    outcome.result.candidate = candidates[index]
                 outcomes[index] = outcome
                 done += 1
                 if telemetry is not None:
@@ -102,6 +123,7 @@ class Coordinator:
         try:
             self.transport.run_job(job_wire, on_result)
         finally:
+            self._record_fault_stats(telemetry)
             if job_span is not None:
                 job_span.finish()
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
@@ -109,6 +131,70 @@ class Coordinator:
             raise DistribError(f"transport {self.transport.name!r} returned "
                                f"no result for candidates {missing}")
         return outcomes
+
+    def _quarantine(self, backtester: Backtester,
+                    candidate: RepairCandidate, item: QuarantinedItem,
+                    telemetry) -> ShardOutcome:
+        """A deterministic error-shaped outcome for a given-up item.
+
+        Mirrors ``Backtester._vetoed_result``: baseline statistics, a
+        self-comparison KS, a flat rejection, and a machine-readable
+        ``quarantined(<reason>) after N attempts`` note — identical on
+        every run of the same fault plan, which is what lets chaos tests
+        assert bit-identical reports modulo quarantine rows.
+        """
+        baseline = backtester.baseline()
+        note = f"quarantined({item.reason}) after {item.attempts} attempts"
+        result = BacktestResult(candidate=candidate, stats=baseline,
+                                ks=compare_traffic(baseline, baseline),
+                                effective=False, accepted=False,
+                                elapsed_seconds=0.0,
+                                notes=candidate.notes + (note,))
+        if self.events is not None:
+            self.events.emit(CandidateQuarantined(
+                index=item.index, description=candidate.description or "",
+                reason=item.reason, attempts=item.attempts))
+        if telemetry is not None:
+            telemetry.metrics.counter("fabric_quarantined",
+                                      reason=item.reason).inc()
+        return ShardOutcome(result=result)
+
+    def _record_fault_stats(self, telemetry) -> None:
+        """Fold the transport's recovery counters into telemetry + events.
+
+        Strictly nonzero-only: a fault-free job emits no counters, no
+        spans and no event, so its telemetry snapshot and event stream
+        are bit-identical to a run without fault tolerance — which is
+        also how chaos tests *prove* a run needed zero retries.
+        """
+        stats: FaultStats = getattr(self.transport, "last_fault_stats", None)
+        if stats is None or not stats.any():
+            return
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            if stats.worker_restarts:
+                metrics.counter("fabric_worker_restarts").inc(
+                    stats.worker_restarts)
+            for reason, count in sorted(stats.retries.items()):
+                metrics.counter("fabric_job_retries", reason=reason).inc(count)
+            if stats.frame_errors:
+                metrics.counter("fabric_frame_errors").inc(stats.frame_errors)
+            if stats.degraded:
+                metrics.counter("fabric_degraded").inc()
+            for index, reason, attempt in stats.retry_log:
+                with telemetry.span("fabric.retry", index=index,
+                                    reason=reason, attempt=attempt):
+                    pass
+        if self.events is not None:
+            reasons = ",".join(f"{reason}={count}" for reason, count
+                               in sorted(stats.retries.items()))
+            self.events.emit(FabricFaultStats(
+                worker_restarts=stats.worker_restarts,
+                job_retries=stats.total_retries,
+                retry_reasons=reasons,
+                quarantined=stats.quarantined,
+                frame_errors=stats.frame_errors,
+                degraded=stats.degraded))
 
 
 class Scheduler:
@@ -118,6 +204,10 @@ class Scheduler:
     or an already-configured :class:`BaseTransport` instance.  Name-built
     transports are owned by the scheduler and shut down by :meth:`close`
     (or the context manager); instances are borrowed and left running.
+
+    ``fault`` (a :class:`~repro.distrib.faults.FaultToleranceConfig` or
+    wire dict) sets the transport's retry/restart/degradation policy;
+    ``fault_plan`` arms deterministic fault injection for chaos testing.
     """
 
     def __init__(self, transport: Union[str, BaseTransport] = "spawn",
@@ -126,6 +216,8 @@ class Scheduler:
                  early_abort: Optional[EarlyAbortPolicy] = None,
                  events: Optional[EventBus] = None,
                  telemetry=None,
+                 fault=None,
+                 fault_plan=None,
                  **transport_options):
         if isinstance(transport, BaseTransport):
             if transport_options:
@@ -133,7 +225,16 @@ class Scheduler:
                                    "scheduler builds the transport itself")
             self.transport = transport
             self._owns_transport = False
+            if fault is not None:
+                self.transport.fault_policy = \
+                    FaultToleranceConfig.coerce(fault)
+            if fault_plan is not None:
+                self.transport.fault_plan = FaultPlan.coerce(fault_plan)
         else:
+            if fault is not None:
+                transport_options.setdefault("fault_policy", fault)
+            if fault_plan is not None:
+                transport_options.setdefault("fault_plan", fault_plan)
             self.transport = make_transport(transport, workers=workers,
                                             **transport_options)
             self._owns_transport = True
@@ -149,10 +250,10 @@ class Scheduler:
         """Build a scheduler from a :class:`repro.api.RepairConfig`.
 
         The single construction path from declarative knobs (transport
-        name, worker count, abort policy, transport options) to a live
-        scheduler — call sites hand over the config instead of wiring
-        arguments.  ``config.transport`` of ``None`` maps to ``"spawn"``,
-        the portable default.
+        name, worker count, abort policy, fault-tolerance block, transport
+        options) to a live scheduler — call sites hand over the config
+        instead of wiring arguments.  ``config.transport`` of ``None``
+        maps to ``"spawn"``, the portable default.
         """
         return cls(transport=config.transport or "spawn",
                    workers=config.workers,
@@ -160,6 +261,7 @@ class Scheduler:
                    early_abort=config.abort,
                    events=events,
                    telemetry=telemetry,
+                   fault=getattr(config, "fault_tolerance", None),
                    **dict(config.transport_options))
 
     def run(self, backtester: Backtester,

@@ -1,0 +1,372 @@
+"""Fault-tolerance primitives for the distributed backtest fabric.
+
+Three declarative objects live here, all JSON-round-trippable like
+:class:`~repro.scenarios.spec.ScenarioSpec`:
+
+:class:`FaultToleranceConfig`
+    The policy knobs — per-item retry budget, worker restart budget with
+    capped exponential backoff, the per-item soft deadline derived from
+    the timed baseline replay, and the worker-fleet floor below which the
+    transport drains the remaining queue serially in-process.  Every
+    transport carries one (``RepairConfig.fault_tolerance`` overrides it),
+    so retry/quarantine semantics are identical across in-process, spawn
+    and socket execution.
+
+:class:`FaultPlan` / :class:`FaultAction`
+    A deterministic fault-injection script: *kill worker 0 before its 2nd
+    item*, *poison candidate 3*, *corrupt the result frame for item 1*.
+    Plans are seeded (:meth:`FaultPlan.generate`) and injectable into any
+    transport, so chaos tests — and the CI chaos step — replay the exact
+    same failure sequence every run and assert bit-identical reports.
+
+:class:`FaultInjector` is the worker-side interpreter of a plan, and
+:class:`QuarantinedItem` is what a transport delivers in place of a
+:class:`~repro.backtest.replay.ShardOutcome` when an item exhausts its
+attempts; the coordinator turns it into a deterministic error-shaped
+:class:`~repro.backtest.replay.BacktestResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time as _time
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS", "FaultAction", "FaultInjector", "FaultPlan",
+    "FaultStats", "FaultToleranceConfig", "InjectedFault", "QuarantinedItem",
+]
+
+#: Soft-deadline floor: even tiny scenarios (millisecond baselines) get a
+#: generous per-item allowance so slow CI machines never trip it.
+DEADLINE_FLOOR_SECONDS = 30.0
+
+#: Every fault kind a plan may script.  ``kill``/``hang``/``raise`` fire
+#: before a worker evaluates its Nth item; ``poison`` fires on *every*
+#: evaluation of one candidate index (the quarantine path); the ``*_result``
+#: and ``*_frame`` kinds manipulate the result delivery after a successful
+#: evaluation (frame corruption is socket-specific — the queue transports
+#: map it to a worker death, the in-process transport to a raise).
+FAULT_KINDS = ("kill", "hang", "raise", "poison", "drop_result",
+               "delay_result", "corrupt_frame", "truncate_frame")
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker loop by a ``raise``/``poison`` fault action."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scripted failure.
+
+    Trigger semantics: with ``index`` set the action targets one candidate
+    (``poison`` fires on every attempt by any worker — that is what makes
+    a candidate poisonous; other kinds fire once).  Without ``index`` the
+    action fires when worker ``worker`` (``None`` = any) is about to
+    evaluate its ``after_items + 1``-th item of the job — and only in the
+    worker's first incarnation, so a respawned replacement does not
+    re-fire the fault that killed its predecessor.
+    """
+
+    kind: str
+    worker: Optional[int] = None
+    after_items: int = 0
+    index: Optional[int] = None
+    #: Sleep length for ``hang``/``delay_result``.
+    seconds: float = 60.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected "
+                             f"one of {sorted(FAULT_KINDS)}")
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"kind": self.kind, "worker": self.worker,
+                "after_items": self.after_items, "index": self.index,
+                "seconds": self.seconds}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "FaultAction":
+        known = {f.name for f in fields(cls)}
+        unknown = set(wire) - known
+        if unknown:
+            raise ValueError(f"unknown fault action keys: {sorted(unknown)}")
+        return cls(**wire)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic script of worker failures.
+
+    JSON round-trip like ``ScenarioSpec``: ``to_wire``/``from_wire`` plus
+    file helpers for ``repro repair --fault-plan plan.json``.  The plan is
+    injected into a transport at construction (``fault_plan=``) and rides
+    to workers with the job, so the same plan file reproduces the same
+    failure sequence on any machine.
+    """
+
+    seed: int = 0
+    actions: Tuple[FaultAction, ...] = ()
+
+    def __post_init__(self):
+        self.actions = tuple(
+            a if isinstance(a, FaultAction) else FaultAction.from_wire(a)
+            for a in self.actions)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"seed": self.seed,
+                "actions": [action.to_wire() for action in self.actions]}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(wire) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        actions = tuple(FaultAction.from_wire(dict(a))
+                        for a in wire.get("actions", ()))
+        return cls(seed=int(wire.get("seed", 0)), actions=actions)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        wire = json.loads(text)
+        if not isinstance(wire, dict):
+            raise ValueError("fault plan JSON must be an object")
+        return cls.from_wire(wire)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    @classmethod
+    def coerce(cls, value) -> Optional["FaultPlan"]:
+        """``FaultPlan`` | wire dict | ``None`` → ``Optional[FaultPlan]``."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_wire(value)
+        raise ValueError(f"cannot build a FaultPlan from {type(value).__name__}")
+
+    @classmethod
+    def generate(cls, seed: int, workers: int = 2, items: int = 4,
+                 count: int = 2,
+                 kinds: Tuple[str, ...] = ("kill", "raise", "delay_result")
+                 ) -> "FaultPlan":
+        """A deterministic pseudo-random plan: same seed, same plan."""
+        rng = random.Random(seed)
+        actions = tuple(
+            FaultAction(kind=rng.choice(kinds),
+                        worker=rng.randrange(workers),
+                        after_items=rng.randrange(items),
+                        seconds=round(rng.uniform(0.01, 0.1), 3))
+            for _ in range(count))
+        return cls(seed=seed, actions=actions)
+
+
+@dataclass
+class FaultToleranceConfig:
+    """Retry / restart / degradation policy of the fabric.
+
+    Also serves as the runtime policy object on every transport
+    (``transport.fault_policy``); the defaults keep fault-free runs
+    bit-identical to a fabric without fault tolerance — retries simply
+    never trigger.
+    """
+
+    #: An item that fails on a worker is retried until it has been
+    #: attempted this many times, then quarantined (a deterministic
+    #: rejected result with a ``quarantined(<reason>)`` note).
+    max_attempts: int = 3
+    #: How many crashed workers a single job may respawn (capped
+    #: exponential backoff between restarts).
+    restart_budget: int = 2
+    #: Per-item soft deadline = ``job_deadline_factor`` × the timed
+    #: baseline replay (the PR 7 estimate; every candidate replays the
+    #: same trace), floored at ``DEADLINE_FLOOR_SECONDS``.  ``None``
+    #: disables deadline enforcement.
+    job_deadline_factor: Optional[float] = 50.0
+    #: Absolute per-item deadline override in seconds (``None`` = derive
+    #: from the factor).  Chaos tests use this for sub-second hang bounds.
+    job_deadline: Optional[float] = None
+    #: When the live worker fleet drops below this floor and the restart
+    #: budget is spent, the transport drains the remaining queue serially
+    #: in-process instead of raising.
+    min_workers: int = 1
+    #: Restart backoff: ``min(backoff_cap, backoff_base * 2**n)`` seconds
+    #: before the ``n``-th respawn of a job.
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+
+    def to_wire(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "FaultToleranceConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(wire) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault_tolerance keys: {sorted(unknown)}")
+        return cls(**wire)
+
+    @classmethod
+    def coerce(cls, value) -> "FaultToleranceConfig":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_wire(value)
+        raise ValueError(
+            f"cannot build a FaultToleranceConfig from {type(value).__name__}")
+
+    def resolve_deadline(self, per_item_estimate: Optional[float]
+                         ) -> Optional[float]:
+        """The per-item soft deadline in seconds, or ``None``."""
+        if self.job_deadline is not None:
+            return self.job_deadline
+        if self.job_deadline_factor is None or not per_item_estimate:
+            return None
+        return max(DEADLINE_FLOOR_SECONDS,
+                   self.job_deadline_factor * per_item_estimate)
+
+    def backoff(self, restart_number: int) -> float:
+        """Seconds to wait before the ``restart_number``-th respawn."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** restart_number))
+
+    def with_updates(self, **knobs) -> "FaultToleranceConfig":
+        return replace(self, **knobs)
+
+
+@dataclass
+class QuarantinedItem:
+    """Delivered by a transport when an item exhausts its attempts.
+
+    Takes the place of a ``ShardOutcome`` in the result stream; the
+    coordinator converts it into a deterministic rejected
+    ``BacktestResult`` (baseline stats, machine-readable
+    ``quarantined(<reason>)`` note) so ``len(results)`` still equals the
+    candidate count.  ``reason`` is one of the failure-taxonomy codes:
+    ``worker-exception`` | ``worker-crash`` | ``deadline`` | ``disconnect``
+    | ``frame-error``.
+    """
+
+    index: int
+    reason: str
+    attempts: int
+    detail: str = ""
+
+
+@dataclass
+class FaultStats:
+    """Per-``run_job`` recovery counters (``transport.last_fault_stats``).
+
+    The coordinator folds these into telemetry (``fabric_worker_restarts``,
+    ``fabric_job_retries{reason=…}``, ``fabric_quarantined``,
+    ``fabric_frame_errors``, retry spans) and a ``fabric_fault_stats``
+    session event after each job.
+    """
+
+    worker_restarts: int = 0
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: One ``(index, reason, attempt)`` per retry, for retry spans.
+    retry_log: List[Tuple[int, str, int]] = field(default_factory=list)
+    quarantined: int = 0
+    frame_errors: int = 0
+    degraded: bool = False
+
+    def record_retry(self, index: int, reason: str, attempt: int) -> None:
+        self.retries[reason] = self.retries.get(reason, 0) + 1
+        self.retry_log.append((index, reason, attempt))
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def any(self) -> bool:
+        return bool(self.worker_restarts or self.retries or self.quarantined
+                    or self.frame_errors or self.degraded)
+
+
+class FaultInjector:
+    """Worker-side interpreter of a :class:`FaultPlan`.
+
+    One injector per (worker, incarnation); :meth:`before_item` runs ahead
+    of each evaluation (and may kill, hang or raise), and
+    :meth:`result_action` tells the delivery path whether to tamper with
+    this item's result.  ``inprocess=True`` maps process-level faults
+    (``kill``, ``hang``) to raises, since the calling process must survive
+    its own chaos test.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan], worker_id: int = 0,
+                 incarnation: int = 0, inprocess: bool = False):
+        self.plan = FaultPlan.coerce(plan)
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.inprocess = inprocess
+        self.items_seen = 0
+        self._fired: set = set()
+
+    def _positional_match(self, key: int, action: FaultAction) -> bool:
+        return (key not in self._fired
+                and self.incarnation == 0
+                and (action.worker is None or action.worker == self.worker_id)
+                and self.items_seen == action.after_items + 1)
+
+    def before_item(self, index: int) -> None:
+        if self.plan is None:
+            return
+        self.items_seen += 1
+        for key, action in enumerate(self.plan.actions):
+            if action.kind == "poison":
+                if action.index == index:
+                    raise InjectedFault(
+                        f"poisoned candidate {index} (fault plan)")
+                continue
+            if action.kind not in ("kill", "hang", "raise"):
+                continue
+            if action.index is not None:
+                if action.index != index or key in self._fired \
+                        or self.incarnation != 0:
+                    continue
+            elif not self._positional_match(key, action):
+                continue
+            self._fired.add(key)
+            if action.kind == "raise" or self.inprocess:
+                raise InjectedFault(
+                    f"injected {action.kind} before item {index} "
+                    f"(worker {self.worker_id}, fault plan)")
+            if action.kind == "hang":
+                _time.sleep(action.seconds)
+            else:                                        # kill
+                os._exit(1)
+
+    def result_action(self, index: int) -> Optional[FaultAction]:
+        """The frame/result fault to apply to this item's delivery."""
+        if self.plan is None or self.inprocess or self.incarnation != 0:
+            return None
+        for key, action in enumerate(self.plan.actions):
+            if action.kind not in ("drop_result", "delay_result",
+                                   "corrupt_frame", "truncate_frame"):
+                continue
+            if key in self._fired:
+                continue
+            if action.index is not None:
+                if action.index != index:
+                    continue
+            elif not ((action.worker is None
+                       or action.worker == self.worker_id)
+                      and self.items_seen == action.after_items + 1):
+                continue
+            self._fired.add(key)
+            return action
+        return None

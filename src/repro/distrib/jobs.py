@@ -86,7 +86,7 @@ _CONFIG_FIELDS = ("ks_threshold", "alpha", "use_significance", "trace_limit",
 def build_job_wire(backtester: Backtester,
                    candidates: Sequence[RepairCandidate],
                    abort_policy: Optional[EarlyAbortPolicy] = None,
-                   telemetry=None) -> Dict:
+                   telemetry=None, deadline: Optional[float] = None) -> Dict:
     """Describe one ``evaluate_all`` call as a JSON-able job dict.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) adds a ``"telemetry"``
@@ -94,6 +94,12 @@ def build_job_wire(backtester: Backtester,
     stitch under the coordinator's trace.  Like the abort policy, the key
     is excluded from :func:`job_digest` — a telemetry toggle must not
     defeat the worker runtime cache.
+
+    ``deadline`` (seconds) is the per-item soft deadline transports use to
+    catch hung workers — typically
+    :meth:`~repro.distrib.faults.FaultToleranceConfig.resolve_deadline`
+    applied to the backtester's timed-baseline estimate.  Also
+    digest-excluded: a deadline tweak must not invalidate worker caches.
     """
     spec = getattr(backtester.scenario, "spec", None)
     if spec is None:
@@ -117,6 +123,8 @@ def build_job_wire(backtester: Backtester,
     }
     if telemetry is not None:
         job_wire["telemetry"] = telemetry.context_wire()
+    if deadline is not None:
+        job_wire["deadline"] = float(deadline)
     return job_wire
 
 

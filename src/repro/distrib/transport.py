@@ -24,8 +24,29 @@ Three implementations:
     (``python -m repro.distrib.worker --connect HOST:PORT``), which may run
     on other machines and drain one shared candidate queue.  By default it
     also spawns ``workers`` local worker processes so a single-machine run
-    needs no manual setup.  Workers that disconnect mid-candidate have
-    their item re-queued for the surviving workers.
+    needs no manual setup.
+
+Every transport enforces one **fault-tolerance policy**
+(:class:`~repro.distrib.faults.FaultToleranceConfig`, the
+``fault_policy=`` constructor argument):
+
+* worker death is detected promptly (process liveness / socket EOF, not
+  the ``result_timeout`` stall limit) and crashed workers are respawned
+  with capped exponential backoff up to the policy's restart budget;
+* an item that fails on a worker is requeued with an attempt count and,
+  after ``max_attempts``, delivered as a
+  :class:`~repro.distrib.faults.QuarantinedItem` instead of poisoning the
+  whole job;
+* items exceeding the job wire's per-item soft ``deadline`` are treated
+  as hangs: the wedged worker is killed and the item retried;
+* when the fleet falls below ``min_workers`` (or dies entirely) with no
+  restart budget left, the remaining queue drains serially in-process —
+  a recorded downgrade, not an error.
+
+Recovery counters for the most recent job are exposed on
+``transport.last_fault_stats``; a :class:`~repro.distrib.faults.FaultPlan`
+(``fault_plan=``) deterministically injects worker failures for chaos
+tests.
 
 Transports are reusable across jobs (workers persist between ``run_job``
 calls) and are context managers; ``close()`` shuts the workers down.
@@ -45,18 +66,36 @@ import struct
 import subprocess
 import sys
 import threading
+import time as _time
 import traceback
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .faults import (FaultInjector, FaultPlan, FaultStats,
+                     FaultToleranceConfig, QuarantinedItem)
 from .jobs import DistribError, JobRuntime, RuntimeCache, strip_candidates
 
 #: Callback invoked by ``run_job`` as results stream in (completion order).
 ResultCallback = Callable[[int, object], None]
 
+#: Supervision tick: how often transports re-check worker liveness and
+#: per-item deadlines while waiting for results — this, not the stall
+#: timeout, bounds crash-detection latency.
+_TICK_SECONDS = 0.2
+
 
 class TransportError(DistribError):
     """A worker or connection failed in a way the transport cannot hide."""
+
+
+class FrameError(TransportError):
+    """A truncated or undecodable length-prefixed frame.
+
+    Distinct from a clean close (``recv_frame`` returning ``None``): the
+    peer wrote garbage or died mid-frame.  The serving side treats it as
+    a disconnect — requeue the in-flight item, drop the connection — and
+    counts it in ``fabric_frame_errors``.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -72,25 +111,40 @@ def send_frame(sock: socket.socket, message: Dict) -> None:
 
 
 def recv_frame(sock: socket.socket) -> Optional[Dict]:
-    """Read one frame; ``None`` on a cleanly closed connection."""
-    header = _recv_exact(sock, _LENGTH.size)
-    if header is None:
+    """Read one frame; ``None`` on a cleanly closed connection.
+
+    A connection that closes *mid-frame* (short read) or delivers an
+    undecodable payload raises :class:`FrameError` instead of
+    masquerading as a clean close, so callers can requeue in-flight work
+    and count the corruption.
+    """
+    header = _recv_upto(sock, _LENGTH.size)
+    if not header:
         return None
+    if len(header) < _LENGTH.size:
+        raise FrameError(f"truncated frame header "
+                         f"({len(header)}/{_LENGTH.size} bytes)")
     (length,) = _LENGTH.unpack(header)
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        return None
-    return pickle.loads(payload)
+    payload = _recv_upto(sock, length)
+    if len(payload) < length:
+        raise FrameError(f"truncated frame payload "
+                         f"({len(payload)}/{length} bytes)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:             # noqa: BLE001 — any decode failure
+        raise FrameError(f"undecodable frame payload: {exc!r}") from exc
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+def _recv_upto(sock: socket.socket, count: int) -> bytes:
+    """Read up to ``count`` bytes; shorter only if the peer closed."""
     chunks = []
-    while count:
-        chunk = sock.recv(count)
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
         if not chunk:
-            return None
+            break
         chunks.append(chunk)
-        count -= len(chunk)
+        got += len(chunk)
     return b"".join(chunks)
 
 
@@ -98,6 +152,16 @@ class BaseTransport:
     """Interface: run jobs through a (possibly remote) worker set."""
 
     name = "?"
+
+    def __init__(self, fault_policy=None, fault_plan=None):
+        #: Retry/restart/degradation policy; every transport has one (the
+        #: defaults make fault-free runs behave exactly as before).
+        self.fault_policy = FaultToleranceConfig.coerce(fault_policy)
+        #: Optional deterministic fault-injection script for chaos tests.
+        self.fault_plan = FaultPlan.coerce(fault_plan)
+        #: Recovery counters of the most recent ``run_job``.
+        self.last_fault_stats = FaultStats()
+        self._fallback_cache: Optional[RuntimeCache] = None
 
     def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
         raise NotImplementedError
@@ -111,6 +175,46 @@ class BaseTransport:
     def __exit__(self, *exc_info):
         self.close()
 
+    # -- shared fault-tolerance machinery ----------------------------------
+
+    def _begin_fault_stats(self) -> FaultStats:
+        self.last_fault_stats = FaultStats()
+        return self.last_fault_stats
+
+    def _drain_serially(self, job_wire: Dict,
+                        items: List[Tuple[int, int]],
+                        on_result: ResultCallback,
+                        stats: FaultStats) -> None:
+        """Graceful degradation: evaluate ``items`` in this process.
+
+        Called when the worker fleet is gone (or below the policy floor)
+        with no restart budget left.  Runs the same retry/quarantine
+        policy as the remote paths — results stay bit-identical, and the
+        downgrade is recorded on ``stats`` instead of raised.
+        """
+        stats.degraded = True
+        if self._fallback_cache is None:
+            self._fallback_cache = RuntimeCache()
+        runtime = JobRuntime(job_wire, cache=self._fallback_cache)
+        policy = self.fault_policy
+        for index, attempts in items:
+            while True:
+                try:
+                    outcome = runtime.evaluate(index)
+                except Exception:        # noqa: BLE001 — policy decides
+                    attempts += 1
+                    detail = traceback.format_exc()
+                    if attempts >= policy.max_attempts:
+                        stats.quarantined += 1
+                        on_result(index, QuarantinedItem(
+                            index=index, reason="worker-exception",
+                            attempts=attempts, detail=detail))
+                        break
+                    stats.record_retry(index, "worker-exception", attempts)
+                else:
+                    on_result(index, outcome)
+                    break
+
 
 # ---------------------------------------------------------------------------
 # In-process
@@ -123,18 +227,44 @@ class InProcessTransport(BaseTransport):
     This still exercises the whole wire path (spec rebuild, candidate
     decode), so it doubles as the cheapest integration test of a job.
     Repeated jobs on one transport instance share the runtime cache, like
-    a persistent remote worker would.
+    a persistent remote worker would.  The retry/quarantine policy applies
+    here too (process-level fault kinds degrade to raises), so chaos
+    semantics are identical across all three transports.
     """
 
     name = "inprocess"
 
-    def __init__(self):
+    def __init__(self, fault_policy=None, fault_plan=None):
+        super().__init__(fault_policy=fault_policy, fault_plan=fault_plan)
         self.runtime_cache = RuntimeCache()
 
     def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
+        stats = self._begin_fault_stats()
+        policy = self.fault_policy
         runtime = JobRuntime(job_wire, cache=self.runtime_cache)
+        injector = (FaultInjector(self.fault_plan, worker_id=0,
+                                  incarnation=0, inprocess=True)
+                    if self.fault_plan is not None else None)
         for index in range(len(runtime)):
-            on_result(index, runtime.evaluate(index))
+            attempts = 0
+            while True:
+                try:
+                    if injector is not None:
+                        injector.before_item(index)
+                    outcome = runtime.evaluate(index)
+                except Exception:        # noqa: BLE001 — policy decides
+                    attempts += 1
+                    detail = traceback.format_exc()
+                    if attempts >= policy.max_attempts:
+                        stats.quarantined += 1
+                        on_result(index, QuarantinedItem(
+                            index=index, reason="worker-exception",
+                            attempts=attempts, detail=detail))
+                        break
+                    stats.record_retry(index, "worker-exception", attempts)
+                else:
+                    on_result(index, outcome)
+                    break
 
 
 # ---------------------------------------------------------------------------
@@ -142,137 +272,330 @@ class InProcessTransport(BaseTransport):
 # ---------------------------------------------------------------------------
 
 
-def _spawn_worker_main(job_queue, task_queue, result_queue):
+def _spawn_worker_main(slot, incarnation, job_queue, task_queue, result_queue,
+                       fault_wire):
     """Worker loop: one job at a time, pull indices until the job sentinel.
 
     Runs in a ``spawn`` child: module-level so it can be located by import,
     and parameterised only by queues and wire dicts.  The runtime cache
     persists across jobs, so repeated ``evaluate_all`` calls on the same
-    scenario skip the scenario/backtester/trunk rebuild.
+    scenario skip the scenario/backtester/trunk rebuild.  Every message is
+    tagged ``(slot, incarnation)`` so the supervisor can attribute it (and
+    discard messages from stale incarnations).
     """
     cache = RuntimeCache()
+    injector = (FaultInjector(FaultPlan.from_wire(fault_wire),
+                              worker_id=slot, incarnation=incarnation)
+                if fault_wire else None)
     while True:
         job_wire = job_queue.get()
         if job_wire is None:
             break
         runtime = None
-        error = None
         try:
             runtime = JobRuntime(job_wire, cache=cache)
         except BaseException:            # noqa: BLE001 — report, then drain
-            error = traceback.format_exc()
-            result_queue.put(("job_error", error))
+            result_queue.put((slot, incarnation, "job_error",
+                              traceback.format_exc()))
         while True:
             index = task_queue.get()
             if index is None:
-                result_queue.put(("worker_done", None))
+                result_queue.put((slot, incarnation, "job_done", None))
                 break
             if runtime is None:
-                continue                 # job never started; drain the queue
+                result_queue.put((slot, incarnation, "item_error",
+                                  (index, "job setup failed on this worker")))
+                continue
             try:
+                if injector is not None:
+                    injector.before_item(index)
                 outcome = runtime.evaluate(index)
             except BaseException:        # noqa: BLE001
-                result_queue.put(("item_error",
+                result_queue.put((slot, incarnation, "item_error",
                                   (index, traceback.format_exc())))
-            else:
-                result_queue.put(("result", (index, outcome)))
+                continue
+            action = (injector.result_action(index)
+                      if injector is not None else None)
+            if action is not None:
+                if action.kind == "delay_result":
+                    _time.sleep(action.seconds)
+                elif action.kind == "drop_result":
+                    continue             # silently swallow; deadline recovers
+                elif action.kind in ("corrupt_frame", "truncate_frame"):
+                    os._exit(1)          # queues have no frames; die instead
+            result_queue.put((slot, incarnation, "result", (index, outcome)))
+
+
+class _SpawnWorkerHandle:
+    """Parent-side bookkeeping for one spawn worker process."""
+
+    __slots__ = ("process", "job_queue", "task_queue", "slot", "incarnation",
+                 "item", "started", "defunct", "kill_reason")
+
+    def __init__(self, process, job_queue, task_queue, slot, incarnation):
+        self.process = process
+        self.job_queue = job_queue
+        self.task_queue = task_queue
+        self.slot = slot
+        self.incarnation = incarnation
+        #: ``(index, attempts)`` currently evaluating, or ``None``.
+        self.item: Optional[Tuple[int, int]] = None
+        self.started = 0.0
+        #: Out of rotation for the current job (died, or its job setup
+        #: failed); reset at the next ``run_job``.
+        self.defunct = False
+        #: Why the supervisor terminated it (``"deadline"``), if it did.
+        self.kill_reason: Optional[str] = None
 
 
 class SpawnTransport(BaseTransport):
-    """A persistent pool of ``spawn``-start worker processes."""
+    """A persistent pool of ``spawn``-start worker processes.
+
+    The parent is the supervisor: it dispatches one index at a time to
+    each worker's private task queue (so it always knows what is in
+    flight where), detects dead workers by process liveness on every
+    supervision tick (~200 ms, not the stall timeout), respawns them with
+    capped exponential backoff within the policy's restart budget, and
+    retries or quarantines their in-flight items.
+    """
 
     name = "spawn"
 
-    def __init__(self, workers: int = 2, result_timeout: float = 600.0):
+    def __init__(self, workers: int = 2, result_timeout: float = 600.0,
+                 fault_policy=None, fault_plan=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        super().__init__(fault_policy=fault_policy, fault_plan=fault_plan)
         self.workers = workers
         self.result_timeout = result_timeout
-        self._processes: List = []
-        self._job_queues: List = []
-        self._task_queue = None
+        self._context = None
         self._result_queue = None
+        self._handles: List[_SpawnWorkerHandle] = []
 
     def _ensure_started(self) -> None:
-        if self._processes:
+        if self._handles:
             return
         import multiprocessing
-        context = multiprocessing.get_context("spawn")
-        self._task_queue = context.Queue()
-        self._result_queue = context.Queue()
-        for _ in range(self.workers):
-            job_queue = context.Queue()
-            process = context.Process(
-                target=_spawn_worker_main,
-                args=(job_queue, self._task_queue, self._result_queue),
-                daemon=True)
-            process.start()
-            self._job_queues.append(job_queue)
-            self._processes.append(process)
+        self._context = multiprocessing.get_context("spawn")
+        self._result_queue = self._context.Queue()
+        self._handles = [self._start_worker(slot, 0)
+                         for slot in range(self.workers)]
+
+    def _start_worker(self, slot: int, incarnation: int) -> _SpawnWorkerHandle:
+        job_queue = self._context.Queue()
+        task_queue = self._context.Queue()
+        plan_wire = (self.fault_plan.to_wire()
+                     if self.fault_plan is not None else None)
+        process = self._context.Process(
+            target=_spawn_worker_main,
+            args=(slot, incarnation, job_queue, task_queue,
+                  self._result_queue, plan_wire),
+            daemon=True)
+        process.start()
+        return _SpawnWorkerHandle(process, job_queue, task_queue, slot,
+                                  incarnation)
+
+    def _drain_stale_messages(self) -> None:
+        """Empty the shared result queue of leftovers from terminated
+        workers of a previous job (their producers are gone, so whatever
+        is in the queue now is all there will ever be)."""
+        while True:
+            try:
+                self._result_queue.get_nowait()
+            except _queue.Empty:
+                return
 
     def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
         self._ensure_started()
-        for job_queue in self._job_queues:
-            job_queue.put(job_wire)
+        self._drain_stale_messages()
+        stats = self._begin_fault_stats()
+        policy = self.fault_policy
+        deadline = job_wire.get("deadline")
         count = len(job_wire["candidates"])
-        for index in range(count):
-            self._task_queue.put(index)
-        for _ in range(self.workers):
-            self._task_queue.put(None)
-        remaining = count
-        workers_done = 0
+        pending: deque = deque((i, 0) for i in range(count))
+        delivered: Set[int] = set()
+        restarts_used = 0
+        for handle in self._handles:
+            handle.item = None
+            handle.defunct = False
+            handle.kill_reason = None
+            if handle.process.is_alive():
+                handle.job_queue.put(job_wire)
+        last_progress = _time.monotonic()
+
+        def finish(index: int, payload) -> None:
+            delivered.add(index)
+            on_result(index, payload)
+
+        def fail_item(index: int, attempts: int, reason: str,
+                      detail: str) -> None:
+            attempts += 1
+            if index in delivered:
+                return
+            if attempts >= policy.max_attempts:
+                stats.quarantined += 1
+                finish(index, QuarantinedItem(index=index, reason=reason,
+                                              attempts=attempts,
+                                              detail=detail))
+            else:
+                stats.record_retry(index, reason, attempts)
+                pending.append((index, attempts))
+
         failure = None
-        while remaining > 0 or workers_done < self.workers:
-            if workers_done >= self.workers and remaining > 0:
-                # Every worker signed off yet items are missing — a failing
-                # worker drained them (its job never started).
-                if failure is None:
-                    failure = f"{remaining} items were never evaluated"
-                break
+        while len(delivered) < count:
+            now = _time.monotonic()
+            # 1. Reap dead workers: retry their in-flight item, respawn
+            #    within the restart budget (capped exponential backoff).
+            for i, handle in enumerate(self._handles):
+                if handle.defunct or handle.process.is_alive():
+                    continue
+                handle.defunct = True
+                if handle.item is not None:
+                    index, attempts = handle.item
+                    handle.item = None
+                    fail_item(index, attempts,
+                              handle.kill_reason or "worker-crash",
+                              "worker process died")
+                    last_progress = now
+                if restarts_used < policy.restart_budget:
+                    _time.sleep(policy.backoff(restarts_used))
+                    restarts_used += 1
+                    stats.worker_restarts += 1
+                    replacement = self._start_worker(
+                        handle.slot, handle.incarnation + 1)
+                    replacement.job_queue.put(job_wire)
+                    self._handles[i] = replacement
+                    last_progress = _time.monotonic()
+            # 2. Enforce the per-item soft deadline: a wedged worker is
+            #    killed (and reaped above on the next tick).
+            if deadline:
+                for handle in self._handles:
+                    if (not handle.defunct and handle.item is not None
+                            and handle.kill_reason is None
+                            and now - handle.started > deadline):
+                        handle.kill_reason = "deadline"
+                        handle.process.terminate()
+            # 3. Dispatch pending items to idle live workers.
+            live = [h for h in self._handles
+                    if not h.defunct and h.process.is_alive()]
+            for handle in live:
+                if not pending:
+                    break
+                if handle.item is None:
+                    handle.item = pending.popleft()
+                    handle.started = now
+                    handle.task_queue.put(handle.item[0])
+            # 4. Graceful degradation: fleet below the floor with no
+            #    budget left — drain the queue serially in-process.
+            in_flight = any(h.item is not None for h in live)
+            if (pending and not in_flight
+                    and restarts_used >= policy.restart_budget
+                    and len(live) < max(1, policy.min_workers)):
+                items = list(pending)
+                pending.clear()
+                self._drain_serially(job_wire, items, on_result, stats)
+                delivered.update(index for index, _ in items)
+                last_progress = _time.monotonic()
+                continue
+            # 5. Collect one message (the tick doubles as the liveness /
+            #    deadline poll interval).
             try:
-                kind, payload = self._result_queue.get(
-                    timeout=self.result_timeout)
+                slot, incarnation, kind, payload = self._result_queue.get(
+                    timeout=_TICK_SECONDS)
             except _queue.Empty:
-                self.close(terminate=True)
-                raise TransportError(
-                    f"spawn workers produced no result for "
-                    f"{self.result_timeout}s ({remaining} items outstanding)")
+                if _time.monotonic() - last_progress > self.result_timeout:
+                    failure = (f"spawn workers produced no result for "
+                               f"{self.result_timeout}s "
+                               f"({count - len(delivered)} items outstanding)")
+                    break
+                continue
+            handle = next((h for h in self._handles
+                           if h.slot == slot and h.incarnation == incarnation),
+                          None)
             if kind == "result":
-                remaining -= 1
                 index, outcome = payload
-                on_result(index, outcome)
+                last_progress = _time.monotonic()
+                if handle is not None and handle.item is not None \
+                        and handle.item[0] == index:
+                    handle.item = None
+                if index in delivered:
+                    continue             # duplicate from a raced retry
+                # The item may have been requeued (e.g. its worker was
+                # deadline-killed right as it finished); drop the copy.
+                for entry in list(pending):
+                    if entry[0] == index:
+                        pending.remove(entry)
+                finish(index, outcome)
             elif kind == "item_error":
-                remaining -= 1
-                if failure is None:
-                    failure = f"candidate {payload[0]} failed:\n{payload[1]}"
+                index, detail = payload
+                last_progress = _time.monotonic()
+                if handle is None or handle.defunct or handle.item is None \
+                        or handle.item[0] != index:
+                    continue             # stale incarnation; already requeued
+                attempts = handle.item[1]
+                handle.item = None
+                fail_item(index, attempts, "worker-exception", detail)
             elif kind == "job_error":
-                # The failing worker keeps draining the queue so its peers
-                # and the sentinel protocol stay coherent; items it swallows
-                # surface through ``failure`` when the workers sign off.
-                if failure is None:
-                    failure = f"job setup failed:\n{payload}"
-            elif kind == "worker_done":
-                workers_done += 1
+                # This worker cannot build the job runtime; take it out of
+                # rotation (its queued item errors arrive as item_error and
+                # are retried elsewhere).  If every worker fails, the
+                # degradation drain surfaces the real error.
+                if handle is not None and not handle.defunct:
+                    handle.defunct = True
+                    if handle.item is not None:
+                        pending.appendleft(handle.item)  # never started
+                        handle.item = None
+                    last_progress = _time.monotonic()
+            # job_done acks are consumed silently (end-of-job protocol).
         if failure is not None:
             self.close(terminate=True)
             raise TransportError(failure)
+        self._finish_job()
+
+    def _finish_job(self) -> None:
+        """Pop live workers back to the job loop and eat their acks, so
+        the shared result queue is clean for the next job."""
+        waiting = []
+        for handle in self._handles:
+            if not handle.defunct and handle.process.is_alive():
+                handle.task_queue.put(None)
+                waiting.append((handle.slot, handle.incarnation))
+        deadline = _time.monotonic() + 10.0
+        while waiting:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                slot, incarnation, kind, _payload = self._result_queue.get(
+                    timeout=remaining)
+            except _queue.Empty:
+                break
+            if kind == "job_done" and (slot, incarnation) in waiting:
+                waiting.remove((slot, incarnation))
+        for key in waiting:
+            # A worker that never acked is wedged; drop it so it cannot
+            # pollute the next job's result stream.
+            for i, handle in enumerate(self._handles):
+                if (handle.slot, handle.incarnation) == key:
+                    handle.process.terminate()
+                    handle.defunct = True
 
     def close(self, terminate: bool = False) -> None:
-        for job_queue in self._job_queues:
+        for handle in self._handles:
             try:
-                job_queue.put(None)
+                handle.job_queue.put(None)
             except (ValueError, OSError):
                 pass
-        for process in self._processes:
+        for handle in self._handles:
+            process = handle.process
             if terminate:
                 process.terminate()
             process.join(timeout=10)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
-        self._processes = []
-        self._job_queues = []
-        self._task_queue = None
+        self._handles = []
+        self._context = None
         self._result_queue = None
 
 
@@ -288,6 +611,17 @@ class _WorkerConnection(threading.Thread):
         super().__init__(daemon=True)
         self.transport = transport
         self.sock = sock
+        #: Worker ordinal for fault-plan targeting, assigned at hello.
+        self.worker_id: Optional[int] = None
+        #: PID reported in the hello frame (used to terminate wedged
+        #: local workers on deadline breaches).
+        self.pid: Optional[int] = None
+        #: Why the transport is severing this connection (``"deadline"``,
+        #: ``"frame-error"``); ``None`` means an ordinary disconnect.
+        self.fault_reason: Optional[str] = None
+        #: Job id whose setup failed on this worker — it is not offered
+        #: that job again.
+        self.failed_job_id: Optional[int] = None
 
     def run(self):
         transport = self.transport
@@ -295,15 +629,17 @@ class _WorkerConnection(threading.Thread):
             hello = recv_frame(self.sock)
             if not hello or hello.get("type") != "hello":
                 return
+            self.pid = hello.get("pid")
+            transport._register_worker(self)
             while True:
                 job = transport._await_job(self)
                 if job is None:
                     self._send_quietly({"type": "shutdown"})
                     return
-                job_id, job_wire = job
-                send_frame(self.sock, {"type": "job", "job": job_wire})
+                job_id, job_frame = job
+                send_frame(self.sock, job_frame)
                 self._serve_items(job_id)
-        except (OSError, EOFError, pickle.PickleError):
+        except (OSError, EOFError, FrameError, pickle.PickleError):
             pass
         finally:
             transport._connection_lost(self)
@@ -313,56 +649,56 @@ class _WorkerConnection(threading.Thread):
                 pass
 
     def _serve_items(self, job_id: int) -> None:
-        current: Optional[int] = None
+        transport = self.transport
         while True:
             try:
                 message = recv_frame(self.sock)
+            except FrameError as exc:
+                # Truncated/corrupt frame: account it, then treat the
+                # connection as disconnected (the in-flight item is
+                # requeued by _connection_lost).
+                transport._frame_error(job_id, self, exc)
+                raise
             except OSError:
-                message = None           # reset mid-frame == closed
+                message = None            # reset mid-frame == closed
             if message is None:
-                # Connection died; put an in-flight item back on the queue.
-                if current is not None:
-                    self.transport._requeue(job_id, current)
                 raise EOFError
             kind = message.get("type")
             if kind == "result":
-                self.transport._deliver(job_id, message["index"],
-                                        message["outcome"])
-                current = None
+                transport._deliver(job_id, self, message["index"],
+                                   message["outcome"])
             elif kind == "error":
-                self.transport._item_failed(job_id, message.get("index"),
-                                            message.get("message", ""))
-                current = None
+                transport._item_failed(job_id, self, message.get("index"),
+                                       message.get("message", ""))
             elif kind == "job_error":
-                self.transport._item_failed(job_id, None,
+                transport._job_setup_failed(job_id, self,
                                             message.get("message", ""))
                 send_frame(self.sock, {"type": "job_done"})
                 return
             elif kind != "next":
                 continue
-            if kind in ("next", "result", "error"):
-                index = self.transport._next_index(job_id)
-                if index is None:
-                    send_frame(self.sock, {"type": "job_done"})
-                    return
-                current = index
-                # The candidate wire rides with the item: the job frame
-                # carried only a candidate-free header, so each worker
-                # receives just the candidates it evaluates.
-                candidate = self.transport._candidate_wire(job_id, index)
-                if candidate is None:
-                    # Job torn down between the index pop and the fetch
-                    # (a peer's failure ended it); nothing left to serve.
-                    send_frame(self.sock, {"type": "job_done"})
-                    return
-                try:
-                    send_frame(self.sock, {"type": "item", "index": index,
-                                           "candidate": candidate})
-                except OSError:
-                    # The worker died between its last frame and our send;
-                    # the popped item must go back for the survivors.
-                    self.transport._requeue(job_id, index)
-                    raise
+            index = transport._next_index(job_id, self)
+            if index is None:
+                send_frame(self.sock, {"type": "job_done"})
+                return
+            # The candidate wire rides with the item: the job frame
+            # carried only a candidate-free header, so each worker
+            # receives just the candidates it evaluates.
+            candidate = transport._candidate_wire(job_id, index)
+            if candidate is None:
+                # Job torn down between the index pop and the fetch;
+                # nothing left to serve.
+                transport._requeue_unstarted(job_id, self)
+                send_frame(self.sock, {"type": "job_done"})
+                return
+            try:
+                send_frame(self.sock, {"type": "item", "index": index,
+                                       "candidate": candidate})
+            except OSError:
+                # The worker died between its last frame and our send;
+                # the popped item never started — put it back untouched.
+                self.transport._requeue_unstarted(job_id, self)
+                raise
 
     def _send_quietly(self, message: Dict) -> None:
         try:
@@ -378,15 +714,24 @@ class SocketTransport(BaseTransport):
     ``spawn_workers=False`` — set that when pointing real remote workers at
     ``host:port`` (use ``port=<fixed>`` and ``host=0.0.0.0`` to listen
     beyond loopback).
+
+    Fault tolerance: worker disconnects (EOF, reset, truncated or corrupt
+    frames) requeue the in-flight item with an attempt count; dead local
+    workers are respawned within the restart budget; items past the job's
+    soft deadline get their connection severed (and local process killed);
+    items out of attempts are quarantined; and a fleet below the policy
+    floor degrades to an in-process serial drain of the remaining queue.
     """
 
     name = "socket"
 
     def __init__(self, workers: int = 2, host: str = "127.0.0.1",
                  port: int = 0, spawn_workers: bool = True,
-                 result_timeout: float = 600.0):
+                 result_timeout: float = 600.0,
+                 fault_policy=None, fault_plan=None):
         if spawn_workers and workers < 1:
             raise ValueError("workers must be >= 1 when spawning locally")
+        super().__init__(fault_policy=fault_policy, fault_plan=fault_plan)
         self.workers = workers
         self.host = host
         self.port = port
@@ -399,6 +744,8 @@ class SocketTransport(BaseTransport):
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._shutdown = False
+        self._next_worker_id = 0
+        self._connected_pids: Set[int] = set()
         # Per-job state, guarded by _lock.
         self._job_id = 0
         self._job_wire: Optional[Dict] = None
@@ -407,10 +754,17 @@ class SocketTransport(BaseTransport):
         #: receives the candidates it evaluates.
         self._job_header: Optional[Dict] = None
         self._job_candidates: List[Dict] = []
-        self._pending: deque = deque()
+        self._pending: deque = deque()          # (index, attempts)
         self._outstanding = 0
+        self._delivered: Set[int] = set()
+        self._in_flight: Dict[_WorkerConnection, Tuple[int, int, float]] = {}
+        self._quarantine_ready: List[QuarantinedItem] = []
         self._on_result: Optional[ResultCallback] = None
         self._failure: Optional[str] = None
+        self._restarts_used = 0
+        self._respawn_at: List[float] = []      # due-times of queued respawns
+        self._job_had_connection = False
+        self._last_progress = 0.0
         self._job_finished = threading.Condition(self._lock)
 
     # -- lifecycle ----------------------------------------------------------
@@ -433,9 +787,10 @@ class SocketTransport(BaseTransport):
                                                daemon=True)
         self._accept_thread.start()
         if self.spawn_workers:
-            self._spawn_local_workers()
+            for _ in range(self.workers):
+                self._spawn_one_worker()
 
-    def _spawn_local_workers(self) -> None:
+    def _spawn_one_worker(self) -> None:
         host, port = self._listener.getsockname()[:2]
         if host == "0.0.0.0":
             host = "127.0.0.1"
@@ -445,11 +800,10 @@ class SocketTransport(BaseTransport):
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = (src_dir if not existing
                              else src_dir + os.pathsep + existing)
-        for _ in range(self.workers):
-            self._worker_processes.append(subprocess.Popen(
-                [sys.executable, "-m", "repro.distrib.worker",
-                 "--connect", f"{host}:{port}"],
-                env=env))
+        self._worker_processes.append(subprocess.Popen(
+            [sys.executable, "-m", "repro.distrib.worker",
+             "--connect", f"{host}:{port}"],
+            env=env))
 
     def _accept_loop(self) -> None:
         while True:
@@ -493,6 +847,8 @@ class SocketTransport(BaseTransport):
         with self._lock:
             self._shutdown = False
             self._connections = []
+            self._connected_pids = set()
+            self._next_worker_id = 0
         self._worker_processes = []
         self._listener = None
         self._accept_thread = None
@@ -501,81 +857,248 @@ class SocketTransport(BaseTransport):
 
     def run_job(self, job_wire: Dict, on_result: ResultCallback) -> None:
         self._ensure_started()
+        stats = self._begin_fault_stats()
+        deadline = job_wire.get("deadline")
         count = len(job_wire["candidates"])
         with self._lock:
             if self._job_wire is not None:
                 raise TransportError("transport already has a job in flight")
             self._job_id += 1
+            job_id = self._job_id
             self._job_wire = job_wire
             self._job_header = strip_candidates(job_wire)
             self._job_candidates = list(job_wire["candidates"])
-            self._pending = deque(range(count))
+            self._pending = deque((i, 0) for i in range(count))
             self._outstanding = count
+            self._delivered = set()
+            self._in_flight = {}
+            self._quarantine_ready = []
             self._on_result = on_result
             self._failure = None
+            self._restarts_used = 0
+            self._respawn_at = []
+            self._job_had_connection = bool(self._connections)
+            self._last_progress = _time.monotonic()
             self._wakeup.notify_all()
-            while self._outstanding > 0 and self._failure is None:
-                if not self._job_finished.wait(timeout=self.result_timeout):
-                    self._failure = (f"no worker progress for "
-                                     f"{self.result_timeout}s "
-                                     f"({self._outstanding} outstanding)")
-                if self._shutdown:
-                    self._failure = self._failure or "transport closed"
-            failure = self._failure
-            self._job_wire = None
-            self._job_header = None
-            self._job_candidates = []
-            self._on_result = None
-            self._pending = deque()
+        failure = None
+        try:
+            while True:
+                with self._lock:
+                    fire = self._quarantine_ready
+                    self._quarantine_ready = []
+                if fire:
+                    for item in fire:
+                        on_result(item.index, item)
+                    with self._lock:
+                        self._outstanding -= len(fire)
+                        self._last_progress = _time.monotonic()
+                        self._job_finished.notify_all()
+                    continue
+                drain_items = None
+                with self._lock:
+                    if self._outstanding <= 0:
+                        break
+                    if self._failure is not None:
+                        failure = self._failure
+                        break
+                    if self._shutdown:
+                        failure = "transport closed"
+                        break
+                    now = _time.monotonic()
+                    self._supervise_locked(now, deadline)
+                    drain_items = self._claim_degraded_items_locked()
+                    if drain_items is None:
+                        if now - self._last_progress > self.result_timeout:
+                            failure = (f"no worker progress for "
+                                       f"{self.result_timeout}s "
+                                       f"({self._outstanding} outstanding)")
+                            break
+                        if not self._quarantine_ready:
+                            self._job_finished.wait(timeout=_TICK_SECONDS)
+                        continue
+                # Degraded: the fleet is gone (or below the floor) with no
+                # restart budget left — drain in-process, outside the lock.
+                self._drain_serially(job_wire, drain_items, on_result, stats)
+                with self._lock:
+                    self._delivered.update(i for i, _ in drain_items)
+                    self._outstanding -= len(drain_items)
+                    self._last_progress = _time.monotonic()
+        finally:
+            with self._lock:
+                self._job_wire = None
+                self._job_header = None
+                self._job_candidates = []
+                self._on_result = None
+                self._pending = deque()
+                self._in_flight = {}
+                self._quarantine_ready = []
         if failure is not None:
             raise TransportError(failure)
 
+    # -- supervision (run_job thread, lock held) ----------------------------
+
+    def _supervise_locked(self, now: float, deadline) -> None:
+        policy = self.fault_policy
+        # Per-item soft deadlines: sever the wedged worker's connection
+        # (its recv unblocks with an error → the item is requeued with
+        # reason "deadline") and kill the local process if it is ours.
+        if deadline:
+            for conn, (_index, _attempts, started) in \
+                    list(self._in_flight.items()):
+                if now - started > deadline and conn.fault_reason is None:
+                    conn.fault_reason = "deadline"
+                    try:
+                        conn.sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    try:
+                        conn.sock.close()
+                    except OSError:
+                        pass
+                    for process in self._worker_processes:
+                        if process.pid == conn.pid and process.poll() is None:
+                            process.terminate()
+        if not self.spawn_workers:
+            return
+        # Reap dead local workers and queue respawns with capped
+        # exponential backoff (no sleeping under the lock).
+        for process in list(self._worker_processes):
+            if process.poll() is None:
+                continue
+            self._worker_processes.remove(process)
+            if self._restarts_used < policy.restart_budget:
+                delay = policy.backoff(self._restarts_used)
+                self._restarts_used += 1
+                self._respawn_at.append(now + delay)
+        due = [t for t in self._respawn_at if t <= now]
+        for t in due:
+            self._respawn_at.remove(t)
+            self._spawn_one_worker()
+            self.last_fault_stats.worker_restarts += 1
+            self._last_progress = now
+
+    def _claim_degraded_items_locked(self) -> Optional[List[Tuple[int, int]]]:
+        """Claim the pending queue for a serial drain, or ``None``.
+
+        Degradation triggers only when nothing can recover the job: no
+        connection can serve it (all gone, or every survivor failed its
+        setup), no local worker is still booting, no respawn is queued —
+        or the fleet is below ``min_workers`` with the restart budget
+        spent.  Items in flight on live workers keep streaming normally.
+        """
+        if not self._pending or self._in_flight:
+            return None
+        if not self.spawn_workers and not self._job_had_connection:
+            return None                  # remote workers may still connect
+        policy = self.fault_policy
+        eligible = [c for c in self._connections
+                    if c.failed_job_id != self._job_id]
+        booting = [p for p in self._worker_processes
+                   if p.poll() is None and p.pid not in self._connected_pids]
+        if self._respawn_at:
+            return None
+        fleet = len(eligible) + len(booting)
+        budget_left = (self.spawn_workers
+                       and self._restarts_used < policy.restart_budget)
+        if fleet == 0 and not budget_left:
+            pass                         # nothing can serve: degrade
+        elif fleet < policy.min_workers and not budget_left and not eligible:
+            pass                         # below the floor with no way back
+        else:
+            return None
+        items = list(self._pending)
+        self._pending.clear()
+        return items
+
     # -- callbacks from connection handlers (thread-safe) -------------------
+
+    def _register_worker(self, connection) -> None:
+        with self._lock:
+            connection.worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            if connection.pid is not None:
+                self._connected_pids.add(connection.pid)
 
     def _await_job(self, connection) -> Optional[tuple]:
         """Block until work is available (or shutdown).
 
         A connection is handed the current job whenever candidate indices
-        are pending.  ``job_done`` is only sent once the pending queue is
-        empty, so a worker never re-enters a job it just finished — except
-        after a peer disconnects mid-candidate and its item is re-queued,
-        in which case re-serving the job (trunk rebuild included) is the
-        recovery path.
+        are pending — unless its own setup for this job already failed.
+        ``job_done`` is only sent once the pending queue is empty, so a
+        worker never re-enters a job it just finished — except after a
+        peer disconnects mid-candidate and its item is re-queued, in which
+        case re-serving the job (trunk rebuild included) is the recovery
+        path.
         """
         with self._lock:
             while not self._shutdown:
-                if self._job_wire is not None and self._pending:
-                    return self._job_id, self._job_header
+                if (self._job_wire is not None and self._pending
+                        and connection.failed_job_id != self._job_id):
+                    self._job_had_connection = True
+                    frame = {"type": "job", "job": self._job_header,
+                             "worker_id": connection.worker_id or 0}
+                    if self.fault_plan is not None:
+                        frame["fault"] = self.fault_plan.to_wire()
+                    return self._job_id, frame
                 self._wakeup.wait(timeout=1.0)
             return None
 
-    def _next_index(self, job_id: int) -> Optional[int]:
+    def _next_index(self, job_id: int, connection) -> Optional[int]:
         with self._lock:
             if job_id != self._job_id or not self._pending:
                 return None
-            return self._pending.popleft()
+            index, attempts = self._pending.popleft()
+            self._in_flight[connection] = (index, attempts, _time.monotonic())
+            return index
 
     def _candidate_wire(self, job_id: int, index: int) -> Optional[Dict]:
         with self._lock:
-            # The job can be torn down (failure path clears the candidate
-            # list before _job_id advances) between a connection's index pop
+            # The job can be torn down between a connection's index pop
             # and this fetch; ``None`` tells the caller the job is gone.
             if (job_id != self._job_id or self._job_wire is None
                     or index >= len(self._job_candidates)):
                 return None
             return self._job_candidates[index]
 
-    def _requeue(self, job_id: int, index: int) -> None:
+    def _requeue_unstarted(self, job_id: int, connection) -> None:
+        """Give back an item the worker never began (dispatch failed):
+        no attempt is charged."""
         with self._lock:
-            if job_id == self._job_id and self._job_wire is not None:
-                self._pending.appendleft(index)
-                self._wakeup.notify_all()
+            entry = self._in_flight.pop(connection, None)
+            if entry is None or job_id != self._job_id \
+                    or self._job_wire is None:
+                return
+            index, attempts, _started = entry
+            self._pending.appendleft((index, attempts))
+            self._wakeup.notify_all()
 
-    def _deliver(self, job_id: int, index: int, outcome) -> None:
+    def _retry_or_quarantine_locked(self, index: int, attempts: int,
+                                    reason: str, detail: str) -> None:
+        attempts += 1
+        if index in self._delivered:
+            return
+        if attempts >= self.fault_policy.max_attempts:
+            self._delivered.add(index)
+            self.last_fault_stats.quarantined += 1
+            self._quarantine_ready.append(QuarantinedItem(
+                index=index, reason=reason, attempts=attempts, detail=detail))
+            self._job_finished.notify_all()
+        else:
+            self.last_fault_stats.record_retry(index, reason, attempts)
+            self._pending.append((index, attempts))
+            self._wakeup.notify_all()
+
+    def _deliver(self, job_id: int, connection, index: int, outcome) -> None:
         with self._lock:
             if job_id != self._job_id or self._on_result is None:
                 return
+            self._in_flight.pop(connection, None)
+            if index in self._delivered:
+                self._wakeup.notify_all()
+                return                   # duplicate from a raced retry
+            self._delivered.add(index)
             callback = self._on_result
+            self._last_progress = _time.monotonic()
         # Run the callback outside the lock: a slow (or transport-touching)
         # progress callback must not serialize worker dispatch or deadlock.
         callback(index, outcome)
@@ -584,31 +1107,64 @@ class SocketTransport(BaseTransport):
                 return
             self._outstanding -= 1
             # Notify on *every* delivery so run_job's stall timeout re-arms
-            # per result (matching SpawnTransport's per-result semantics)
-            # instead of bounding total job duration.
+            # per result instead of bounding total job duration.
             self._job_finished.notify_all()
 
-    def _item_failed(self, job_id: int, index: Optional[int],
+    def _item_failed(self, job_id: int, connection, index: Optional[int],
                      message: str) -> None:
+        """A worker reported an exception evaluating an item: requeue it
+        with an attempt charged, or quarantine it out of the job."""
         with self._lock:
             if job_id != self._job_id:
                 return
-            if self._failure is None:
-                what = "job setup" if index is None else f"candidate {index}"
-                self._failure = f"{what} failed on a worker:\n{message}"
+            entry = self._in_flight.pop(connection, None)
+            attempts = entry[1] if entry is not None else 0
+            if index is None and entry is not None:
+                index = entry[0]
+            if index is None:
+                return
+            self._retry_or_quarantine_locked(index, attempts,
+                                             "worker-exception", message)
+            self._last_progress = _time.monotonic()
             self._job_finished.notify_all()
+
+    def _job_setup_failed(self, job_id: int, connection,
+                          message: str) -> None:
+        """This worker cannot build the job runtime; stop offering it the
+        job.  If no worker can, the degradation drain surfaces the error."""
+        with self._lock:
+            if job_id != self._job_id:
+                return
+            connection.failed_job_id = job_id
+            entry = self._in_flight.pop(connection, None)
+            if entry is not None:
+                index, attempts, _started = entry
+                self._pending.appendleft((index, attempts))
+                self._wakeup.notify_all()
+            self._job_finished.notify_all()
+
+    def _frame_error(self, job_id: int, connection, exc: Exception) -> None:
+        with self._lock:
+            if job_id == self._job_id:
+                self.last_fault_stats.frame_errors += 1
+            if connection.fault_reason is None:
+                connection.fault_reason = "frame-error"
 
     def _connection_lost(self, connection) -> None:
         with self._lock:
             if connection in self._connections:
                 self._connections.remove(connection)
-            if (self._job_wire is not None and not self._connections
-                    and self._failure is None and self._outstanding > 0
-                    and all(p.poll() is not None
-                            for p in self._worker_processes)):
-                self._failure = ("all workers disconnected with "
-                                 f"{self._outstanding} items outstanding")
-                self._job_finished.notify_all()
+            if self._job_wire is None:
+                return
+            entry = self._in_flight.pop(connection, None)
+            if entry is not None:
+                index, attempts, _started = entry
+                self._retry_or_quarantine_locked(
+                    index, attempts, connection.fault_reason or "disconnect",
+                    "worker connection lost")
+            # Wake the supervisor: it decides between respawn, waiting for
+            # the survivors, and the degradation drain.
+            self._job_finished.notify_all()
 
 
 # ---------------------------------------------------------------------------
@@ -633,4 +1189,5 @@ def make_transport(name: str, **options) -> BaseTransport:
                            f"{sorted(set(TRANSPORTS))}") from exc
     if cls is InProcessTransport:
         options.pop("workers", None)     # meaningless in-process
+        options.pop("result_timeout", None)
     return cls(**options)

@@ -15,23 +15,51 @@ A :class:`RuntimeCache` persists across jobs, so repeated ``evaluate_all``
 calls on the same scenario skip the scenario/backtester/trunk rebuild.
 It then waits for the next job; ``shutdown`` (or a closed connection) ends
 the process.  Only connect to coordinators you trust: frames are pickled.
+
+When the coordinator ships a :class:`~repro.distrib.faults.FaultPlan` with
+the job frame, the worker arms a :class:`FaultInjector` against its
+assigned ``worker_id`` — this is how chaos tests make a *real* remote
+worker crash, hang, delay, or corrupt frames at a deterministic point.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import socket
 import sys
+import time as _time
 import traceback
 from typing import Optional
 
+from .faults import FaultInjector, FaultPlan
 from .jobs import JobRuntime, RuntimeCache
-from .transport import recv_frame, send_frame
+from .transport import _LENGTH, FrameError, recv_frame, send_frame
+
+
+def _tamper_result_frame(sock: socket.socket, action) -> None:
+    """Emit a deliberately broken frame, then die.
+
+    ``corrupt_frame`` sends a well-formed length prefix over an
+    undecodable payload; ``truncate_frame`` promises more payload bytes
+    than it delivers and closes mid-frame.  Either way the coordinator
+    must requeue the in-flight item and count a frame error, and this
+    process is beyond saving.
+    """
+    try:
+        if action.kind == "corrupt_frame":
+            sock.sendall(_LENGTH.pack(16) + b"\x00" * 16)
+        else:                            # truncate_frame
+            sock.sendall(_LENGTH.pack(1 << 20) + b"partial")
+    except OSError:
+        pass
+    os._exit(1)
 
 
 def _serve_job(sock: socket.socket, job_wire,
-               cache: Optional[RuntimeCache] = None) -> None:
+               cache: Optional[RuntimeCache] = None,
+               injector: Optional[FaultInjector] = None) -> None:
     try:
         runtime = JobRuntime(job_wire, cache=cache)
     except BaseException:                # noqa: BLE001 — report and bail out
@@ -50,19 +78,32 @@ def _serve_job(sock: socket.socket, job_wire,
             continue
         index = message["index"]
         try:
+            if injector is not None:
+                injector.before_item(index)
             outcome = runtime.evaluate(index,
                                        candidate_wire=message.get("candidate"))
         except BaseException:            # noqa: BLE001
             send_frame(sock, {"type": "error", "index": index,
                               "message": traceback.format_exc()})
-        else:
-            send_frame(sock, {"type": "result", "index": index,
-                              "outcome": outcome})
+            continue
+        action = (injector.result_action(index)
+                  if injector is not None else None)
+        if action is not None:
+            if action.kind == "delay_result":
+                _time.sleep(action.seconds)
+            elif action.kind == "drop_result":
+                os._exit(1)              # the result dies with the process
+            else:                        # corrupt_frame / truncate_frame
+                _tamper_result_frame(sock, action)
+        send_frame(sock, {"type": "result", "index": index,
+                          "outcome": outcome})
 
 
 def serve(host: str, port: int) -> None:
     """Connect to a coordinator and process jobs until shutdown."""
     cache = RuntimeCache()
+    injector: Optional[FaultInjector] = None
+    injector_key = None
     with socket.create_connection((host, port)) as sock:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_frame(sock, {"type": "hello", "pid": os.getpid()})
@@ -71,7 +112,24 @@ def serve(host: str, port: int) -> None:
             if message is None or message.get("type") == "shutdown":
                 return
             if message.get("type") == "job":
-                _serve_job(sock, message["job"], cache=cache)
+                fault_wire = message.get("fault")
+                worker_id = int(message.get("worker_id", 0))
+                if fault_wire:
+                    # One injector per (worker_id, plan): its one-shot
+                    # bookkeeping must persist across jobs on the same
+                    # connection, not rearm for every job frame.
+                    key = (worker_id,
+                           json.dumps(fault_wire, sort_keys=True, default=str))
+                    if key != injector_key:
+                        injector = FaultInjector(
+                            FaultPlan.from_wire(fault_wire),
+                            worker_id=worker_id)
+                        injector_key = key
+                else:
+                    injector = None
+                    injector_key = None
+                _serve_job(sock, message["job"], cache=cache,
+                           injector=injector)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -85,7 +143,7 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
     try:
         serve(host, int(port))
-    except (ConnectionError, OSError) as exc:
+    except (ConnectionError, OSError, FrameError) as exc:
         print(f"repro-worker: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -176,6 +176,47 @@ class CandidateVetoed(SessionEvent):
 
 @register_event
 @dataclass(frozen=True)
+class CandidateQuarantined(SessionEvent):
+    """The fabric gave up on a candidate after exhausting its retries.
+
+    The candidate still appears in the report — as a deterministic,
+    flatly rejected result carrying a ``quarantined(<reason>)`` note —
+    so one poisonous candidate cannot kill a thousand-candidate run.
+    ``reason`` is the machine-readable failure class
+    (``worker-exception`` / ``worker-crash`` / ``deadline`` /
+    ``disconnect`` / ``frame-error``).
+    """
+
+    kind = "candidate_quarantined"
+    index: int = 0
+    description: str = ""
+    reason: str = ""
+    attempts: int = 0
+
+
+@register_event
+@dataclass(frozen=True)
+class FabricFaultStats(SessionEvent):
+    """Fault-recovery counters for one fabric job (emitted only when any
+    recovery action actually fired, so fault-free runs keep an unchanged
+    event stream).
+
+    ``retry_reasons`` is a compact ``reason=count`` listing (sorted,
+    comma-separated) rather than a nested mapping so the event stays a
+    flat wire-friendly record.
+    """
+
+    kind = "fabric_fault_stats"
+    worker_restarts: int = 0
+    job_retries: int = 0
+    retry_reasons: str = ""
+    quarantined: int = 0
+    frame_errors: int = 0
+    degraded: bool = False
+
+
+@register_event
+@dataclass(frozen=True)
 class WarmEngineStats(SessionEvent):
     """Static-analysis and warm-path counters after a backtest stage.
 
