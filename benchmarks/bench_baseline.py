@@ -40,6 +40,11 @@ Measured workloads:
   off vs a ``repro.obs`` tracer attached (schema v6): the disabled
   number is the free-when-off claim, the traced one prices the
   ``trace_fixpoints`` deep-dive mode;
+* ``service_throughput`` — whole repair sessions per minute through the
+  repair-service stack (schema v8): a ``RepairServiceDaemon`` + HTTP
+  front door with a warmed worker fleet, timed at 1 vs 4 workers.  The
+  row prices the service layer itself (scheduling, frames, HTTP), since
+  the smoke-size Q1 session body is sub-second;
 * ``smoke_reference`` — smoke-size timings recorded alongside every run,
   which ``tests/perf/test_bench_regress.py`` (the ``bench_regress``
   marker) re-measures on each tier-1 run and compares with a generous
@@ -93,7 +98,7 @@ from repro.repair.apply import apply_candidate  # noqa: E402
 from repro.scenarios import build_scenario  # noqa: E402
 from repro.sdn.network import NetworkSimulator  # noqa: E402
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 8
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_baseline.json"
 
 #: Batch size used for the batched-replay modes.
@@ -460,6 +465,65 @@ def bench_distrib(scenario, candidates, workers: int,
     return out
 
 
+#: Worker counts of the service-throughput scaling row.
+SERVICE_WORKER_COUNTS = (1, 4)
+
+#: Sessions per worker count in the smoke-size service row.
+SMOKE_SERVICE_SESSIONS = 4
+
+
+def bench_service_throughput(sessions: int,
+                             worker_counts=SERVICE_WORKER_COUNTS,
+                             max_candidates: int = 4) -> Dict:
+    """Repair sessions/minute through the daemon + HTTP front door.
+
+    The fleet is warmed first (worker spawn, first-scenario build) with
+    one untimed session per worker, so the row measures the service
+    layer's steady state — scheduling, frame protocol, HTTP — not
+    process startup.
+    """
+    import threading
+
+    from repro.api import RepairConfig
+    from repro.service import (RepairServiceDaemon, ServiceClient,
+                               ServiceHTTPServer)
+
+    config = RepairConfig.for_scenario("Q1", max_candidates=max_candidates)
+    out: Dict[str, Dict] = {}
+    for workers in worker_counts:
+        daemon = RepairServiceDaemon(workers=workers).start()
+        server = ServiceHTTPServer(("127.0.0.1", 0), daemon)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(server.url)
+        try:
+            warm = [client.submit(config, tenant="bench")
+                    for _ in range(workers)]
+            for ack in warm:
+                client.wait(ack["id"], timeout=300)
+            started = time.perf_counter()
+            acks = [client.submit(config, tenant="bench")
+                    for _ in range(sessions)]
+            for ack in acks:
+                client.wait(ack["id"], timeout=300)
+            elapsed = time.perf_counter() - started
+        finally:
+            server.shutdown()
+            daemon.stop(grace=5.0)
+        out[f"workers_{workers}"] = {
+            "workers": workers,
+            "sessions": sessions,
+            "seconds": elapsed,
+            "jobs_per_minute": sessions / elapsed * 60.0,
+        }
+    return out
+
+
+def _smoke_service_throughput() -> Dict:
+    """The smoke-size service row the perf tripwire re-measures."""
+    return bench_service_throughput(SMOKE_SERVICE_SESSIONS,
+                                    worker_counts=(1,))["workers_1"]
+
+
 #: Rounds used for the smoke-size warm-vs-cold row (sub-ms per pass, so
 #: extra rounds buy the tripwire stability for free).
 SMOKE_WARM_ROUNDS = 10
@@ -477,7 +541,8 @@ def _smoke_warm_vs_cold() -> Dict:
 def _smoke_reference(workers: int, engine: Optional[Dict] = None,
                      fig9b: Optional[Dict] = None,
                      warm_row: Optional[Dict] = None,
-                     telemetry_row: Optional[Dict] = None) -> Dict:
+                     telemetry_row: Optional[Dict] = None,
+                     service_row: Optional[Dict] = None) -> Dict:
     """Smoke-size timings recorded with every baseline.
 
     ``tests/perf/test_bench_regress.py`` re-measures exactly these
@@ -502,6 +567,9 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
             "telemetry_overhead": (
                 telemetry_row if telemetry_row is not None
                 else bench_telemetry_overhead(SMOKE_JOIN_SIZE)),
+            "service_throughput": (
+                service_row if service_row is not None
+                else _smoke_service_throughput()),
             "workers": workers,
         }
     scenario = build_scenario("Q1", repetitions=1)
@@ -523,6 +591,7 @@ def _smoke_reference(workers: int, engine: Optional[Dict] = None,
         },
         "warm_vs_cold": _smoke_warm_vs_cold(),
         "telemetry_overhead": bench_telemetry_overhead(SMOKE_JOIN_SIZE),
+        "service_throughput": _smoke_service_throughput(),
         "workers": workers,
     }
 
@@ -557,6 +626,8 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         scenario, warm_sets, rounds=SMOKE_WARM_ROUNDS if smoke else 5)
     distrib = bench_distrib(scenario, candidates, workers,
                             reference_accepted, include_socket=not smoke)
+    service_throughput = bench_service_throughput(
+        SMOKE_SERVICE_SESSIONS if smoke else 12)
     static_vet = bench_static_vet(scenario)
     telemetry_overhead = bench_telemetry_overhead(
         SMOKE_JOIN_SIZE if smoke else BENCH_JOIN_SIZE)
@@ -573,12 +644,14 @@ def run_baseline(smoke: bool = False, workers: Optional[int] = None,
         "fig9b": fig9b,
         "warm_vs_cold": warm_vs_cold,
         "distrib": distrib,
+        "service_throughput": service_throughput,
         "static_vet": static_vet,
         "telemetry_overhead": telemetry_overhead,
         "smoke_reference": (
             _smoke_reference(workers, engine, fig9b,
                              warm_row=warm_vs_cold["fig9b_workload"],
-                             telemetry_row=telemetry_overhead)
+                             telemetry_row=telemetry_overhead,
+                             service_row=service_throughput["workers_1"])
             if smoke else _smoke_reference(workers)),
     }
     if output is not None:
@@ -611,7 +684,7 @@ def main(argv=None) -> int:
         print(f"{'engine.' + label:>24} {entry['indexed_seconds']:>10.4f} "
               f"(naive {entry['naive_seconds']:.4f}, "
               f"{entry['speedup']:.1f}x)")
-    for section in ("fig9b", "distrib"):
+    for section in ("fig9b", "distrib", "service_throughput"):
         for label, entry in payload[section].items():
             if not isinstance(entry, dict) or "seconds" not in entry:
                 continue

@@ -169,6 +169,22 @@ class RepairSession:
         #: The backtester built by the backtest stage (for warm statistics).
         self.backtester = None
 
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object],
+                  events: Optional[EventBus] = None,
+                  stages: Optional[Sequence[Stage]] = None) -> "RepairSession":
+        """A session from a ``RepairConfig`` wire dict.
+
+        The construction path of the repair service: an HTTP body or a
+        coordinator frame carries the config wire, and this turns it
+        straight into a runnable session.  Raises
+        :class:`~repro.api.config.ConfigError` on malformed wires.
+        """
+        if not isinstance(wire, dict):
+            raise ConfigError("repair config wire must be an object")
+        return cls(RepairConfig.from_wire(dict(wire)), events=events,
+                   stages=stages)
+
     # ------------------------------------------------------------------
     # Lazy runtime pieces
     # ------------------------------------------------------------------

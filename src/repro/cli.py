@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections import Counter
 from dataclasses import replace as _dc_replace
@@ -590,6 +591,159 @@ def _cmd_worker(args) -> int:
     return worker_main(["--connect", args.connect])
 
 
+class _WireJsonlLog:
+    """JSONL sink for already-wire-format event dicts (serve --events)."""
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def __call__(self, wire) -> None:
+        self.stream.write(json.dumps(wire, sort_keys=True, default=str) + "\n")
+        self.stream.flush()
+
+    def sync(self) -> None:
+        self.stream.flush()
+        try:
+            os.fsync(self.stream.fileno())
+        except (AttributeError, OSError, ValueError):
+            pass
+
+
+def _cmd_serve(args) -> int:
+    """Run the multi-tenant repair service (daemon + HTTP front door)."""
+    import signal
+    import threading
+
+    from .service import RepairServiceDaemon, ServiceHTTPServer
+
+    plan = None
+    if args.fault_plan:
+        from .distrib.faults import FaultPlan
+        plan = FaultPlan.from_file(args.fault_plan)
+    log_handle = on_event = None
+    if args.events:
+        log_handle = open(args.events, "a", encoding="utf-8")
+        on_event = _WireJsonlLog(log_handle)
+    daemon = RepairServiceDaemon(workers=args.workers,
+                                 host=args.daemon_host,
+                                 port=args.daemon_port,
+                                 spawn_workers=not args.no_spawn_workers,
+                                 fault_plan=plan,
+                                 on_event=on_event)
+    daemon.start()
+    server = ServiceHTTPServer((args.host, args.port), daemon,
+                               quiet=args.quiet)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_stop)
+        except (ValueError, OSError):
+            pass
+    serving = threading.Thread(target=server.serve_forever, daemon=True)
+    serving.start()
+    worker_host, worker_port = daemon.address
+    print(f"repro serve: HTTP on {server.url} "
+          f"(workers connect to {worker_host}:{worker_port})", flush=True)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: draining...", flush=True)
+    server.shutdown()
+    daemon.stop(grace=args.grace)
+    if log_handle is not None:
+        log_handle.close()
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def _format_service_session(wire) -> str:
+    """Human-readable view of a GET /sessions/<id> wire."""
+    lines = [f"session {wire.get('id')} [{wire.get('tenant')}] "
+             f"{wire.get('scenario')}: {wire.get('state')}"
+             + (f" ({wire.get('error')})" if wire.get("error") else "")]
+    report = wire.get("report")
+    if report:
+        lines.append(f"  generated {report.get('generated')} candidates, "
+                     f"{report.get('surviving')} survived backtesting")
+        for description in report.get("suggestions", []):
+            lines.append(f"    suggested: {description}")
+    return "\n".join(lines)
+
+
+def _cmd_submit(args) -> int:
+    """Submit a repair run to a ``repro serve`` front door over HTTP."""
+    from .service.client import ClientError, ServiceClient
+
+    config = _config_from_args(args)
+    client = ServiceClient(args.url)
+    try:
+        ack = client.submit(config, tenant=args.tenant)
+        session_id = ack["id"]
+        if not args.quiet:
+            print(f"submitted {session_id} (tenant {ack['tenant']}) "
+                  f"to {args.url}", file=sys.stderr)
+        if args.no_wait:
+            print(json.dumps(ack, indent=2, sort_keys=True) if args.json
+                  else session_id)
+            return 0
+        wire = client.wait(session_id, timeout=args.timeout)
+    except ClientError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, TimeoutError) as exc:
+        print(f"repro submit: {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(wire, indent=2, sort_keys=True))
+    else:
+        print(_format_service_session(wire))
+    if wire.get("state") == "failed":
+        return 1
+    report = wire.get("report") or {}
+    return 0 if report.get("suggestions") else 2
+
+
+def _cmd_status(args) -> int:
+    """Inspect a running service: all sessions, or one in detail."""
+    from .service.client import ClientError, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.session:
+            if args.events:
+                for wire in client.events(args.session):
+                    print(json.dumps(wire, sort_keys=True, default=str))
+                return 0
+            wire = client.session(args.session)
+            print(json.dumps(wire, indent=2, sort_keys=True) if args.json
+                  else _format_service_session(wire))
+            return 0
+        sessions = client.sessions()
+    except ClientError as exc:
+        print(f"repro status: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro status: {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(sessions, indent=2, sort_keys=True))
+        return 0
+    if not sessions:
+        print("no sessions")
+        return 0
+    for row in sessions:
+        error = f"  {row['error']}" if row.get("error") else ""
+        print(f"{row['id']}  {row['tenant']:10s} {row['scenario']:4s} "
+              f"{row['state']:8s} attempts={row['attempts']}{error}")
+    return 0
+
+
 def _cmd_scenarios_list(args) -> int:
     entries = []
     for name in sorted(SCENARIO_BUILDERS):
@@ -687,6 +841,64 @@ def build_parser() -> argparse.ArgumentParser:
         "worker", help="join a socket coordinator as a backtest worker")
     worker.add_argument("--connect", required=True, metavar="HOST:PORT")
     worker.set_defaults(func=_cmd_worker)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant repair service "
+                      "(coordinator daemon + HTTP front door)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8180,
+                       help="HTTP front-door port (default 8180; "
+                            "0 = ephemeral)")
+    serve.add_argument("--daemon-host", default="127.0.0.1",
+                       help="worker coordinator bind host")
+    serve.add_argument("--daemon-port", type=int, default=0,
+                       help="worker coordinator port (default 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="local repro-worker processes to spawn")
+    serve.add_argument("--no-spawn-workers", action="store_true",
+                       help="spawn no local workers (point remote "
+                            "repro-worker processes at the daemon port)")
+    serve.add_argument("--fault-plan", metavar="FILE", dest="fault_plan",
+                       help="JSON FaultPlan armed against the fleet "
+                            "(deterministic chaos reproduction)")
+    serve.add_argument("--events", metavar="FILE",
+                       help="append every session's event stream to FILE "
+                            "as JSONL (session_id/tenant annotated)")
+    serve.add_argument("--grace", type=float, default=10.0,
+                       help="drain budget in seconds on SIGTERM/SIGINT")
+    serve.add_argument("--quiet", action="store_true",
+                       help="no per-request HTTP log on stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a repair run to a repro serve front door")
+    submit.add_argument("scenario", type=str.upper, nargs="?", default=None,
+                        help="registered scenario name (Q1..Q5); optional "
+                             "when --config names one")
+    submit.add_argument("--url", default="http://127.0.0.1:8180",
+                        help="service base URL "
+                             "(default http://127.0.0.1:8180)")
+    submit.add_argument("--tenant", default=None,
+                        help="tenant the session is accounted to")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the session id and return immediately")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for completion")
+    _add_config_options(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="inspect a repro serve service's sessions")
+    status.add_argument("session", nargs="?", default=None,
+                        help="session id (omit for the full listing)")
+    status.add_argument("--url", default="http://127.0.0.1:8180",
+                        help="service base URL")
+    status.add_argument("--events", action="store_true",
+                        help="print the session's event stream as JSONL")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw wire as JSON")
+    status.set_defaults(func=_cmd_status)
 
     scenarios = sub.add_parser("scenarios", help="scenario catalogue")
     scenarios_sub = scenarios.add_subparsers(dest="scenarios_command",

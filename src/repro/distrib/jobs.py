@@ -208,6 +208,31 @@ class RuntimeCache:
         return PLAN_CACHE.stats()
 
 
+def build_runtime(job_wire: Dict, cache: Optional[RuntimeCache] = None):
+    """Build the worker-side runtime for a job wire of any kind.
+
+    Job wires are discriminated by their ``"kind"`` key: absent or
+    ``"backtest"`` builds the classic :class:`JobRuntime`; ``"repair"``
+    builds a :class:`repro.service.runtime.RepairJobRuntime`, which runs
+    a whole Diagnose → Generate → Backtest → Rank pipeline as one item.
+    The service module is imported lazily — the api package imports this
+    one, so a top-level import would cycle.
+
+    Every runtime exposes ``__len__`` and ``evaluate(index,
+    candidate_wire=None)``; runtimes that stream events additionally
+    expose ``set_event_sink``.
+    """
+    kind = job_wire.get("kind", "backtest") if isinstance(job_wire, dict) \
+        else "backtest"
+    if kind == "backtest":
+        return JobRuntime(job_wire, cache=cache)
+    if kind == "repair":
+        from ..service.runtime import RepairJobRuntime
+        return RepairJobRuntime(job_wire, cache=cache)
+    raise DistribError(f"unknown job kind {kind!r}; expected 'backtest' "
+                       f"or 'repair'")
+
+
 class JobRuntime:
     """Worker-side execution state for one job.
 

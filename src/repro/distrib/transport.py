@@ -283,6 +283,16 @@ def _spawn_worker_main(slot, incarnation, job_queue, task_queue, result_queue,
     tagged ``(slot, incarnation)`` so the supervisor can attribute it (and
     discard messages from stale incarnations).
     """
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; children that die to it strand the parent transport mid-job
+    # (it respawns them against a dead queue until the budget runs out).
+    # The parent owns pool shutdown (``close()`` / its own drain), so the
+    # children ignore the interactive interrupt.
+    import signal as _signal
+    try:
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
     cache = RuntimeCache()
     injector = (FaultInjector(FaultPlan.from_wire(fault_wire),
                               worker_id=slot, incarnation=incarnation)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import sys
 import time as _time
@@ -34,8 +35,44 @@ import traceback
 from typing import Optional
 
 from .faults import FaultInjector, FaultPlan
-from .jobs import JobRuntime, RuntimeCache
+from .jobs import RuntimeCache, build_runtime
 from .transport import _LENGTH, FrameError, recv_frame, send_frame
+
+
+class GracefulShutdown:
+    """SIGTERM/SIGINT policy for a worker process: drain, don't strand.
+
+    An idle worker (blocked in ``recv`` between jobs or items) exits
+    immediately; a busy one finishes the item it is evaluating, delivers
+    the result frame, and exits before taking more work.  Either way the
+    coordinator sees a clean close and requeues nothing that was already
+    delivered — a Ctrl-C against a worker fleet therefore loses no
+    completed work and never wedges the coordinator.
+    """
+
+    def __init__(self):
+        self.requested = False
+        self.busy = False
+
+    def install(self) -> "GracefulShutdown":
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # non-main thread / exotic platform
+                pass
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        self.requested = True
+        if not self.busy:
+            # Idle: the pending recv would otherwise be retried by PEP 475;
+            # raising here unwinds it (socket closed by the context manager).
+            raise SystemExit(0)
+
+    def checkpoint(self) -> None:
+        """Exit if a drain was requested while we were busy."""
+        if self.requested:
+            raise SystemExit(0)
 
 
 def _tamper_result_frame(sock: socket.socket, action) -> None:
@@ -59,13 +96,19 @@ def _tamper_result_frame(sock: socket.socket, action) -> None:
 
 def _serve_job(sock: socket.socket, job_wire,
                cache: Optional[RuntimeCache] = None,
-               injector: Optional[FaultInjector] = None) -> None:
+               injector: Optional[FaultInjector] = None,
+               shutdown: Optional[GracefulShutdown] = None) -> None:
     try:
-        runtime = JobRuntime(job_wire, cache=cache)
+        runtime = build_runtime(job_wire, cache=cache)
     except BaseException:                # noqa: BLE001 — report and bail out
         send_frame(sock, {"type": "job_error",
                           "message": traceback.format_exc()})
         return
+    if hasattr(runtime, "set_event_sink"):
+        # Repair runtimes stream SessionEvents back between protocol
+        # frames: same thread, same socket, so frames never interleave.
+        runtime.set_event_sink(
+            lambda wire: send_frame(sock, {"type": "event", "event": wire}))
     send_frame(sock, {"type": "next"})
     while True:
         message = recv_frame(sock)
@@ -77,14 +120,21 @@ def _serve_job(sock: socket.socket, job_wire,
         if kind != "item":
             continue
         index = message["index"]
+        if shutdown is not None:
+            shutdown.busy = True
         try:
             if injector is not None:
                 injector.before_item(index)
             outcome = runtime.evaluate(index,
                                        candidate_wire=message.get("candidate"))
+        except SystemExit:
+            raise
         except BaseException:            # noqa: BLE001
             send_frame(sock, {"type": "error", "index": index,
                               "message": traceback.format_exc()})
+            if shutdown is not None:
+                shutdown.busy = False
+                shutdown.checkpoint()
             continue
         action = (injector.result_action(index)
                   if injector is not None else None)
@@ -97,9 +147,15 @@ def _serve_job(sock: socket.socket, job_wire,
                 _tamper_result_frame(sock, action)
         send_frame(sock, {"type": "result", "index": index,
                           "outcome": outcome})
+        if shutdown is not None:
+            shutdown.busy = False
+            # Drain point: the finished item's result is delivered; a
+            # pending SIGTERM/SIGINT now exits instead of pulling more.
+            shutdown.checkpoint()
 
 
-def serve(host: str, port: int) -> None:
+def serve(host: str, port: int,
+          shutdown: Optional[GracefulShutdown] = None) -> None:
     """Connect to a coordinator and process jobs until shutdown."""
     cache = RuntimeCache()
     injector: Optional[FaultInjector] = None
@@ -108,6 +164,8 @@ def serve(host: str, port: int) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_frame(sock, {"type": "hello", "pid": os.getpid()})
         while True:
+            if shutdown is not None:
+                shutdown.checkpoint()
             message = recv_frame(sock)
             if message is None or message.get("type") == "shutdown":
                 return
@@ -129,7 +187,7 @@ def serve(host: str, port: int) -> None:
                     injector = None
                     injector_key = None
                 _serve_job(sock, message["job"], cache=cache,
-                           injector=injector)
+                           injector=injector, shutdown=shutdown)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -141,9 +199,14 @@ def main(argv: Optional[list] = None) -> int:
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    shutdown = GracefulShutdown().install()
     try:
-        serve(host, int(port))
+        serve(host, int(port), shutdown=shutdown)
+    except SystemExit as exc:
+        return int(exc.code or 0)
     except (ConnectionError, OSError, FrameError) as exc:
+        if shutdown.requested:
+            return 0                     # drain raced the socket teardown
         print(f"repro-worker: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -25,7 +25,9 @@ of each sink emits a ``RuntimeWarning`` (all failures stay on
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
+import os
 import warnings
 from collections import deque
 from dataclasses import dataclass
@@ -315,16 +317,36 @@ class EventBus:
 
 
 class JsonlEventWriter:
-    """Subscriber that appends one JSON line per event to a stream."""
+    """Subscriber that appends one JSON line per event to a stream.
 
-    def __init__(self, stream: IO[str], flush: bool = True):
+    On ``session_finished`` the writer flushes *and* fsyncs the stream
+    (``sync_on_finish``), so a reader tailing the log of a live run —
+    ``repro events summarize`` against another process's ``--events``
+    file — never sees a truncated final line: by the time the session
+    reports itself finished, its whole stream is durably on disk.
+    """
+
+    def __init__(self, stream: IO[str], flush: bool = True,
+                 sync_on_finish: bool = True):
         self.stream = stream
         self.flush = flush
+        self.sync_on_finish = sync_on_finish
 
     def __call__(self, event: SessionEvent) -> None:
         self.stream.write(event.to_json() + "\n")
         if self.flush:
             self.stream.flush()
+        if self.sync_on_finish and event.kind == "session_finished":
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush, then fsync when the stream is a real file (best effort:
+        pipes, sockets and StringIO buffers flush only)."""
+        self.stream.flush()
+        try:
+            os.fsync(self.stream.fileno())
+        except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+            pass
 
 
 def progress_to_events(bus: EventBus) -> Callable:

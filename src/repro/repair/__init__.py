@@ -24,6 +24,7 @@ from .candidates import (
     deduplicate,
     edit_from_wire,
     edit_to_wire,
+    reset_candidate_ids,
 )
 from .generator import RepairGenerator, RepairGeneratorConfig
 
@@ -34,6 +35,6 @@ __all__ = [
     "DeletePredicate", "DeleteRule", "DeleteSelection", "DeleteTuple",
     "Edit", "InsertTuple", "PROGRAM_EDIT_KINDS", "RepairCandidate",
     "WireFormatError", "candidate_from_wire", "candidate_to_wire",
-    "deduplicate", "edit_from_wire", "edit_to_wire",
+    "deduplicate", "edit_from_wire", "edit_to_wire", "reset_candidate_ids",
     "RepairGenerator", "RepairGeneratorConfig",
 ]

@@ -21,6 +21,22 @@ from ..ndlog.tuples import NDTuple
 _candidate_counter = itertools.count(1)
 
 
+def reset_candidate_ids(start: int = 1) -> None:
+    """Restart the process-global candidate numbering at ``start``.
+
+    Candidate ids (and the ``v<N>`` tags derived from them) are assigned
+    from a process-global counter, so the N-th repair run in a process
+    numbers its candidates differently from the first.  Long-lived
+    service workers call this at the start of every repair job so that a
+    report is a pure function of its config — bit-identical whether the
+    run happened in a fresh ``repro repair`` process or on a worker that
+    has served a thousand sessions.  Ids stay unique within a run, which
+    is the only scope that ever compares them.
+    """
+    global _candidate_counter
+    _candidate_counter = itertools.count(start)
+
+
 # ---------------------------------------------------------------------------
 # Edits
 # ---------------------------------------------------------------------------

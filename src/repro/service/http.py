@@ -1,0 +1,186 @@
+"""HTTP/JSON front door for the repair service (stdlib only).
+
+Thin by design: every route is a JSON view over
+:class:`~repro.service.daemon.RepairServiceDaemon`, served by a
+:class:`http.server.ThreadingHTTPServer` — no framework, no new
+dependencies.  Endpoints:
+
+========================  ==================================================
+``POST /sessions``        Submit a run.  Body: a ``RepairConfig`` wire dict,
+                          or ``{"tenant": ..., "config": {...}}``.  The
+                          tenant may also ride the ``X-Repro-Tenant`` header
+                          or a ``?tenant=`` query parameter.  Returns 202
+                          with ``{"id", "tenant", "state"}``.
+``GET /sessions``         All sessions (submission order), summary rows.
+``GET /sessions/<id>``    One session: status plus the ranked report wire.
+``GET /sessions/<id>/events``  The session's event stream as JSONL; with
+                          ``?follow=1`` the response streams until the
+                          session is terminal.
+``GET /metrics``          The daemon's registry as Prometheus text.
+``GET /healthz``          Liveness/drain state and fleet counters.
+========================  ==================================================
+
+Errors: 400 for malformed bodies/configs, 404 for unknown sessions or
+paths, 503 while the daemon is draining.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..api.config import ConfigError
+from ..obs.metrics import prometheus_text
+from .daemon import RepairServiceDaemon, ServiceUnavailable
+
+#: Poll interval of the ``?follow=1`` event stream.
+_FOLLOW_TICK_SECONDS = 0.2
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The front door: one of these per daemon."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: RepairServiceDaemon, quiet: bool = True):
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    # HTTP/1.0: connection close delimits the ?follow=1 stream, so no
+    # chunked-encoding machinery is needed.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, fmt, *args):   # noqa: N802 — stdlib naming
+        if not getattr(self.server, "quiet", True):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self):                    # noqa: N802 — stdlib naming
+        service: RepairServiceDaemon = self.server.service
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        try:
+            if parts == ["metrics"]:
+                self._send_text(200,
+                                prometheus_text(service.metrics.snapshot()))
+            elif parts == ["healthz"]:
+                self._send_json(200, service.status())
+            elif parts == ["sessions"]:
+                self._send_json(200, {"sessions": service.sessions()})
+            elif len(parts) == 2 and parts[0] == "sessions":
+                self._send_json(200, service.session_wire(parts[1]))
+            elif (len(parts) == 3 and parts[0] == "sessions"
+                  and parts[2] == "events"):
+                query = parse_qs(split.query)
+                follow = query.get("follow", ["0"])[0] not in ("0", "", None)
+                self._stream_events(service, parts[1], follow)
+            else:
+                self._error(404, f"no such route: {split.path}")
+        except KeyError:
+            self._error(404, f"no such session: {parts[1]}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass                         # client went away mid-response
+
+    def do_POST(self):                   # noqa: N802 — stdlib naming
+        service: RepairServiceDaemon = self.server.service
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        if parts != ["sessions"]:
+            self._error(404, f"no such route: {split.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"body is not valid JSON: {exc}")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object "
+                             "(a RepairConfig wire, or {tenant, config})")
+            return
+        # Envelope form wins, then header, then query parameter.
+        config_wire = payload
+        tenant: Optional[str] = None
+        if "config" in payload and isinstance(payload["config"], dict):
+            config_wire = payload["config"]
+            extra = set(payload) - {"config", "tenant"}
+            if extra:
+                self._error(400, f"unknown envelope keys: {sorted(extra)}")
+                return
+            tenant = payload.get("tenant")
+        if tenant is None:
+            tenant = self.headers.get("X-Repro-Tenant")
+        if tenant is None:
+            tenant = parse_qs(split.query).get("tenant", [None])[0]
+        try:
+            session_id = service.submit(config_wire,
+                                        tenant=tenant or "default")
+        except ServiceUnavailable as exc:
+            self._error(503, str(exc))
+            return
+        except ConfigError as exc:
+            self._error(400, f"bad repair config: {exc}")
+            return
+        self._send_json(202, {"id": session_id,
+                              "tenant": tenant or "default",
+                              "state": "queued"})
+
+    def _stream_events(self, service: RepairServiceDaemon,
+                       session_id: str, follow: bool) -> None:
+        # Raises KeyError for unknown ids before any bytes are written.
+        events, terminal = service.events_since(session_id, 0)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        offset = 0
+        while True:
+            for wire in events:
+                line = json.dumps(wire, sort_keys=True, default=str) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+            offset += len(events)
+            self.wfile.flush()
+            if terminal or not follow:
+                return
+            _time.sleep(_FOLLOW_TICK_SECONDS)
+            events, terminal = service.events_since(session_id, offset)

@@ -1,0 +1,127 @@
+"""The :class:`RepairJob` wire format: a whole repair run as one job.
+
+PR 5 made a repair run declaratively wire-shippable (`RepairConfig` +
+`ScenarioSpec`), and the distributed fabric already moves *backtest* jobs
+(:func:`repro.distrib.jobs.build_job_wire`) to workers.  A ``RepairJob``
+closes the gap: it wraps a full :class:`~repro.api.config.RepairConfig`
+so a remote ``repro-worker`` can run the entire Diagnose → Generate →
+Backtest → Rank pipeline end-to-end and ship the ranked report back.
+
+The wire dict is JSON-able like every other wire format in the codebase
+and is distinguished from backtest job wires by ``"kind": "repair"`` —
+:func:`repro.distrib.jobs.build_runtime` dispatches on that key, so both
+job kinds travel over the identical frame protocol.  A repair job always
+has exactly one work item (the run itself), so the header carries
+``candidate_count: 1`` for the coordinator's queue bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..api.config import ConfigError, RepairConfig
+
+#: The ``kind`` discriminator that routes a job wire to
+#: :class:`~repro.service.runtime.RepairJobRuntime` on the worker.
+REPAIR_JOB_KIND = "repair"
+
+#: Keys a repair job wire may carry (unknown keys are rejected loudly,
+#: matching the strictness of ``RepairConfig.from_wire``).
+_WIRE_KEYS = {"kind", "session_id", "tenant", "config", "submitted_unix",
+              "candidate_count"}
+
+
+class RepairJobError(ValueError):
+    """Raised for malformed repair job wires."""
+
+
+@dataclass
+class RepairJob:
+    """One whole repair run, addressed to a tenant, as a wire object."""
+
+    #: Coordinator-assigned session identifier (unique per daemon).
+    session_id: str
+    #: The full declarative run description (must carry a ScenarioSpec —
+    #: a live scenario object cannot cross the wire).
+    config: RepairConfig
+    #: Fair-share scheduling key; every submission belongs to a tenant.
+    tenant: str = "default"
+    #: Coordinator wall-clock at submission (0.0 = unknown).
+    submitted_unix: float = 0.0
+    #: Per-tenant metric labels and anything else the daemon wants to
+    #: remember with the job (not shipped to workers).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.config.scenario is None:
+            raise RepairJobError(
+                "repair job config has no ScenarioSpec; only fully "
+                "declarative configs can cross the wire")
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "kind": REPAIR_JOB_KIND,
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "config": self.config.to_wire(),
+            "submitted_unix": self.submitted_unix,
+            "candidate_count": 1,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object]) -> "RepairJob":
+        if not isinstance(wire, dict):
+            raise RepairJobError("repair job wire must be an object")
+        kind = wire.get("kind")
+        if kind != REPAIR_JOB_KIND:
+            raise RepairJobError(
+                f"not a repair job wire (kind={kind!r})")
+        unknown = set(wire) - _WIRE_KEYS
+        if unknown:
+            raise RepairJobError(
+                f"unknown repair job keys: {sorted(unknown)}")
+        config_wire = wire.get("config")
+        if not isinstance(config_wire, dict):
+            raise RepairJobError("repair job wire has no config object")
+        try:
+            config = RepairConfig.from_wire(config_wire)
+        except ConfigError as exc:
+            raise RepairJobError(f"bad repair job config: {exc}") from exc
+        return cls(session_id=str(wire.get("session_id", "")),
+                   config=config,
+                   tenant=str(wire.get("tenant", "default")),
+                   submitted_unix=float(wire.get("submitted_unix", 0.0)))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RepairJob":
+        try:
+            wire = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RepairJobError(
+                f"repair job is not valid JSON: {exc}") from exc
+        return cls.from_wire(wire)
+
+
+def scenario_digest(job_wire: Dict) -> str:
+    """Cache key for the worker's :class:`RuntimeCache`: the scenario only.
+
+    Two repair jobs with different candidate budgets or acceptance knobs
+    still replay the same scenario, so they share the cached scenario
+    object (and its memoized trace/topology) on a persistent worker —
+    only the spec participates in the digest.
+    """
+    config_wire = job_wire.get("config") or {}
+    basis = json.dumps({"kind": "repair-scenario",
+                        "spec": config_wire.get("scenario")},
+                       sort_keys=True, default=str)
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()

@@ -1,0 +1,83 @@
+"""JsonlEventWriter durability: the stream is synced on session finish.
+
+The ISSUE 10 satellite: a reader tailing another process's ``--events``
+file must never see a truncated final line — by the time the session
+reports itself finished, the whole stream is flushed (and fsynced when
+the stream is a real file), even with per-event flushing disabled.
+"""
+
+import io
+
+from repro.api import JsonlEventWriter
+from repro.events import SessionFinished, SessionStarted
+
+
+class RecordingStream(io.StringIO):
+    """A StringIO that counts flushes and refuses to fsync (no fileno)."""
+
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
+
+
+class RecordingFile:
+    """A real temp file wrapper that records fsync calls."""
+
+    def __init__(self, path):
+        self.file = open(path, "w")
+        self.synced = 0
+
+    def write(self, text):
+        return self.file.write(text)
+
+    def flush(self):
+        return self.file.flush()
+
+    def fileno(self):
+        self.synced += 1
+        return self.file.fileno()
+
+    def close(self):
+        self.file.close()
+
+
+def test_unbuffered_streams_still_sync_on_finish():
+    stream = RecordingStream()
+    writer = JsonlEventWriter(stream, flush=False)
+    writer(SessionStarted(scenario="Q1"))
+    assert stream.flushes == 0           # flush=False: no per-event flush
+    writer(SessionFinished(scenario="Q1"))
+    assert stream.flushes >= 1           # … but the finish event syncs
+    lines = [l for l in stream.getvalue().splitlines() if l]
+    assert len(lines) == 2
+
+
+def test_finish_event_fsyncs_real_files(tmp_path):
+    stream = RecordingFile(tmp_path / "events.jsonl")
+    try:
+        writer = JsonlEventWriter(stream, flush=False)
+        writer(SessionStarted(scenario="Q1"))
+        assert stream.synced == 0
+        writer(SessionFinished(scenario="Q1"))
+        assert stream.synced == 1
+    finally:
+        stream.close()
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert len([l for l in lines if l]) == 2
+
+
+def test_sync_on_finish_can_be_disabled():
+    stream = RecordingStream()
+    writer = JsonlEventWriter(stream, flush=False, sync_on_finish=False)
+    writer(SessionFinished(scenario="Q1"))
+    assert stream.flushes == 0
+
+
+def test_explicit_sync_survives_streams_without_fileno():
+    stream = io.StringIO()
+    writer = JsonlEventWriter(stream)
+    writer.sync()                        # StringIO has no fileno: no raise

@@ -26,7 +26,7 @@ def test_baseline_harness_smoke(tmp_path):
 
     on_disk = json.loads(output.read_text())
     assert on_disk == json.loads(json.dumps(payload))  # round-trips cleanly
-    assert payload["schema_version"] == 6
+    assert payload["schema_version"] == 8
     assert payload["smoke"] is True
 
     engine = payload["engine"]
@@ -66,6 +66,16 @@ def test_baseline_harness_smoke(tmp_path):
     assert distrib["spawn_coordinator"]["accepted"] == \
         fig9b["sequential"]["accepted"]
 
+    # Schema v8: the repair-service throughput scaling row — whole repair
+    # sessions through a real daemon + HTTP front door at 1 vs 4 workers
+    # (warmed fleet, so the row prices the service layer, not spawns).
+    service = payload["service_throughput"]
+    assert set(service) == {"workers_1", "workers_4"}
+    for row in service.values():
+        assert row["sessions"] > 0
+        assert row["seconds"] > 0
+        assert row["jobs_per_minute"] > 0
+
     reference = payload["smoke_reference"]
     assert reference["fig9b_sequential"]["seconds"] > 0
     assert set(reference["engine"]) == {
@@ -103,3 +113,4 @@ def test_baseline_harness_smoke(tmp_path):
     assert tele["traced_seconds"] > 0
     assert tele["overhead_factor"] > 0
     assert reference["telemetry_overhead"] == tele   # smoke runs share the row
+    assert reference["service_throughput"] == service["workers_1"]

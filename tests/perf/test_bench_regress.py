@@ -174,6 +174,29 @@ def test_telemetry_disabled_within_tolerance(smoke_reference):
 
 
 @pytest.mark.bench_regress
+def test_service_throughput_within_tolerance(smoke_reference):
+    """The repair-service row: smoke-size sessions through a real daemon +
+    HTTP stack on one worker.  Extra-generous — the workload includes a
+    scheduling round-trip per session, and only an order-of-magnitude
+    service-layer regression (a lost wakeup, a polling stall) should trip
+    it."""
+    from bench_baseline import _smoke_service_throughput
+    recorded = smoke_reference.get("service_throughput")
+    if recorded is None:
+        pytest.skip("BENCH_baseline.json predates the service_throughput "
+                    "row; refresh it with benchmarks/bench_baseline.py")
+    fresh = _smoke_service_throughput()
+    assert fresh["sessions"] == recorded["sessions"], \
+        "smoke service workload drifted; refresh BENCH_baseline.json"
+    allowed = _allowed(recorded["seconds"])
+    assert fresh["seconds"] <= allowed, (
+        f"service smoke ({fresh['sessions']} sessions, 1 worker) took "
+        f"{fresh['seconds']:.3f}s, allowed {allowed:.3f}s (recorded "
+        f"{recorded['seconds']:.3f}s) — service-layer regression? refresh "
+        f"BENCH_baseline.json if intentional")
+
+
+@pytest.mark.bench_regress
 def test_backtest_smoke_within_tolerance(smoke_reference):
     from bench_baseline import _smoke_candidates
     recorded = smoke_reference["fig9b_sequential"]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the repair-service suite: one helper that stands
+up a daemon + HTTP front door + client and tears the stack down."""
+
+import threading
+
+import pytest
+
+from repro.service import (RepairServiceDaemon, ServiceClient,
+                           ServiceHTTPServer)
+
+
+def report_minus_timings(report_wire):
+    """A DiagnosisReport wire with its wall-clock "timings" key removed —
+    every other field is deterministic, so this is the bit-identity view."""
+    assert isinstance(report_wire, dict), report_wire
+    wire = dict(report_wire)
+    wire.pop("timings", None)
+    return wire
+
+
+@pytest.fixture
+def fleet():
+    """Factory: ``fleet(**daemon_kwargs) -> (daemon, server, client)``.
+
+    Every stack the factory starts is drained and stopped at teardown,
+    whatever the test outcome.
+    """
+    started = []
+
+    def _start(**kwargs):
+        daemon = RepairServiceDaemon(**kwargs).start()
+        server = ServiceHTTPServer(("127.0.0.1", 0), daemon)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(server.url)
+        started.append((daemon, server))
+        return daemon, server, client
+
+    yield _start
+    for daemon, server in started:
+        server.shutdown()
+        daemon.stop(grace=5.0)

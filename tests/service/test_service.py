@@ -1,0 +1,200 @@
+"""The repair service end-to-end: HTTP parity, endpoints, chaos.
+
+Acceptance contract (ISSUE 10): repair sessions submitted over HTTP for
+Q1–Q5 return ranked reports **bit-identical** to in-process
+``RepairSession`` runs (modulo the wall-clock ``timings`` key), and a
+:class:`FaultPlan` kill-one-worker chaos run through the daemon matches
+the fault-free verdicts.
+"""
+
+import json
+
+import pytest
+
+from repro.api import RepairConfig, RepairSession
+from repro.distrib import FaultAction, FaultPlan, FaultToleranceConfig
+from repro.repair import reset_candidate_ids
+from repro.service import ClientError
+
+from conftest import report_minus_timings
+
+SCENARIOS = ("Q1", "Q2", "Q3", "Q4", "Q5")
+
+
+def reference_report(config):
+    """In-process run with fresh candidate numbering (= a worker's view)."""
+    reset_candidate_ids()
+    return report_minus_timings(RepairSession(config).run().to_wire())
+
+
+class TestHTTPParity:
+    def test_q1_to_q5_reports_bit_identical(self, fleet):
+        _daemon, _server, client = fleet(workers=2)
+        configs = {name: RepairConfig.for_scenario(name, max_candidates=4)
+                   for name in SCENARIOS}
+        references = {name: reference_report(config)
+                      for name, config in configs.items()}
+        acks = {name: client.submit(config, tenant="parity")
+                for name, config in configs.items()}
+        for name, ack in acks.items():
+            wire = client.wait(ack["id"], timeout=120)
+            assert wire["state"] == "done", wire.get("error")
+            assert wire["scenario"] == name
+            assert report_minus_timings(wire["report"]) == references[name]
+            assert set(wire["stage_seconds"]) == {
+                "diagnose", "generate", "backtest", "rank"}
+
+    def test_second_submission_still_bit_identical(self, fleet):
+        # The long-lived-worker regression: the N-th session on a warm
+        # worker must produce the same bytes as the first.
+        _daemon, _server, client = fleet(workers=1)
+        config = RepairConfig.for_scenario("Q1", max_candidates=4)
+        reference = reference_report(config)
+        for _ in range(2):
+            ack = client.submit(config)
+            wire = client.wait(ack["id"], timeout=120)
+            assert wire["state"] == "done", wire.get("error")
+            assert report_minus_timings(wire["report"]) == reference
+
+    def test_event_stream_is_complete_and_ordered(self, fleet):
+        _daemon, _server, client = fleet(workers=1)
+        ack = client.submit(RepairConfig.for_scenario("Q1",
+                                                      max_candidates=4))
+        client.wait(ack["id"], timeout=120)
+        events = client.events(ack["id"])
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "session_started"
+        assert kinds[-1] == "session_finished"
+        # Stage events nest: every stage_started is later closed.
+        open_stages = []
+        for event in events:
+            if event["kind"] == "stage_started":
+                open_stages.append(event["stage"])
+            elif event["kind"] == "stage_finished":
+                assert open_stages.pop() == event["stage"]
+        assert not open_stages
+
+
+class TestEndpoints:
+    def test_healthz_and_sessions_listing(self, fleet):
+        daemon, _server, client = fleet(workers=1)
+        health = client.health()
+        assert health["state"] == "serving"
+        assert health["workers_connected"] >= 0
+        ack = client.submit(RepairConfig.for_scenario("Q1",
+                                                      max_candidates=4),
+                            tenant="alice")
+        client.wait(ack["id"], timeout=120)
+        rows = client.sessions()
+        assert [row["id"] for row in rows] == [ack["id"]]
+        assert rows[0]["tenant"] == "alice"
+        assert rows[0]["state"] == "done"
+        assert daemon.get(ack["id"]).attempts == 0
+
+    def test_metrics_exposes_service_counters(self, fleet):
+        _daemon, _server, client = fleet(workers=1)
+        ack = client.submit(RepairConfig.for_scenario("Q1",
+                                                      max_candidates=4),
+                            tenant="alice")
+        client.wait(ack["id"], timeout=120)
+        text = client.metrics_text()
+        assert 'service_sessions_submitted{tenant="alice"} 1' in text
+        assert 'service_sessions_finished{state="done",tenant="alice"} 1' \
+            in text or \
+            'service_sessions_finished{tenant="alice",state="done"} 1' in text
+        assert "service_workers_connected" in text
+
+    def test_tenant_from_header_and_query(self, fleet):
+        _daemon, _server, client = fleet(workers=1, spawn_workers=False)
+        config = RepairConfig.for_scenario("Q1", max_candidates=4)
+        ack = client._json("POST", "/sessions", payload=config.to_wire(),
+                           headers={"X-Repro-Tenant": "hdr"})
+        assert ack["tenant"] == "hdr"
+        ack = client._json("POST", "/sessions?tenant=qry",
+                           payload=config.to_wire())
+        assert ack["tenant"] == "qry"
+
+    def test_unknown_session_is_404(self, fleet):
+        _daemon, _server, client = fleet(workers=1, spawn_workers=False)
+        with pytest.raises(ClientError) as excinfo:
+            client.session("s-9999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ClientError) as excinfo:
+            client.events("s-9999")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, fleet):
+        _daemon, _server, client = fleet(workers=1, spawn_workers=False)
+        with pytest.raises(ClientError) as excinfo:
+            client._request("GET", "/frobnicate")
+        assert excinfo.value.status == 404
+
+    def test_bad_submissions_are_400(self, fleet):
+        _daemon, _server, client = fleet(workers=1, spawn_workers=False)
+        with pytest.raises(ClientError) as excinfo:
+            client._request("POST", "/sessions", payload=None,
+                            headers={"Content-Length": "0"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ClientError) as excinfo:
+            client.submit({"scenario": {"name": "Q1"}, "bogus_knob": 1})
+        assert excinfo.value.status == 400
+        assert "bogus_knob" in str(excinfo.value)
+        with pytest.raises(ClientError) as excinfo:
+            client._json("POST", "/sessions",
+                         payload={"config": {}, "tenant": "x", "oops": 1})
+        assert excinfo.value.status == 400
+        assert "envelope" in str(excinfo.value)
+
+
+class TestChaos:
+    def test_killed_worker_session_retries_bit_identical(self, fleet):
+        # Worker 0 dies the moment it starts the job; the daemon requeues
+        # the session, respawns the worker (fresh worker id, so the
+        # positional fault does not re-fire), and the retry's report is
+        # byte-for-byte the fault-free one.
+        config = RepairConfig.for_scenario("Q1", max_candidates=4)
+        reference = reference_report(config)
+        plan = FaultPlan(actions=(
+            FaultAction(kind="kill", worker=0, after_items=0),))
+        daemon, _server, client = fleet(workers=1, fault_plan=plan)
+        ack = client.submit(config, tenant="chaos")
+        wire = client.wait(ack["id"], timeout=120)
+        assert wire["state"] == "done", wire.get("error")
+        assert wire["attempts"] == 1
+        assert report_minus_timings(wire["report"]) == reference
+        assert daemon.fault_stats.total_retries >= 1
+        # The retry discarded the partial stream: one clean run remains.
+        kinds = [event["kind"] for event in client.events(ack["id"])]
+        assert kinds.count("session_started") == 1
+        assert kinds[-1] == "session_finished"
+
+    def test_hung_worker_hits_deadline_and_retries(self, fleet):
+        # An explicit job_deadline severs a hung worker; the respawned
+        # one reruns the session to the fault-free verdict.
+        policy = FaultToleranceConfig(max_attempts=3, job_deadline=2.0)
+        config = RepairConfig.for_scenario(
+            "Q1", max_candidates=4).with_updates(fault_tolerance=policy)
+        reference = reference_report(config)
+        plan = FaultPlan(actions=(
+            FaultAction(kind="hang", worker=0, after_items=0, seconds=60),))
+        daemon, _server, client = fleet(workers=1, fault_plan=plan)
+        ack = client.submit(config)
+        wire = client.wait(ack["id"], timeout=120)
+        assert wire["state"] == "done", wire.get("error")
+        assert wire["attempts"] == 1
+        assert report_minus_timings(wire["report"]) == reference
+
+    def test_poisoned_session_quarantines(self, fleet):
+        # A session that fails on every attempt is quarantined with the
+        # fabric's error shape, and the service stays up for the next one.
+        config = RepairConfig.for_scenario("Q1", max_candidates=4)
+        plan = FaultPlan(actions=(
+            FaultAction(kind="poison", index=0),))
+        daemon, _server, client = fleet(workers=1, fault_plan=plan)
+        ack = client.submit(config, tenant="chaos")
+        wire = client.wait(ack["id"], timeout=120)
+        assert wire["state"] == "failed"
+        assert wire["error"] == "quarantined(worker-exception) after 3 attempts"
+        assert daemon.fault_stats.quarantined == 1
+        health = client.health()
+        assert health["state"] == "serving"

@@ -1,0 +1,172 @@
+"""Graceful shutdown: drain, requeue, never strand a process.
+
+The ISSUE 10 satellite contract: ``repro serve`` and ``repro-worker``
+handle SIGTERM/SIGINT by draining — in-flight sessions are requeued
+with no attempt charged, event sinks are flushed, and every child
+process exits cleanly.  Plus the regression for the old failure mode
+where a terminal Ctrl-C killed SpawnTransport children out from under
+the parent mid-job.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import RepairConfig
+from repro.distrib import FaultAction, FaultPlan
+from repro.distrib.transport import recv_frame
+from repro.service import ServiceError, ServiceUnavailable
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+def child_env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (REPO_SRC if not existing
+                         else REPO_SRC + os.pathsep + existing)
+    return env
+
+
+class TestDaemonStop:
+    def test_stop_requeues_in_flight_without_charging_attempts(self, fleet):
+        # The only worker hangs forever on its first session; stop() must
+        # not wait it out — the session goes back to the queue, partial
+        # events discarded, attempts untouched (the operator interrupted
+        # it, not a fault).
+        plan = FaultPlan(actions=(
+            FaultAction(kind="hang", worker=0, after_items=0, seconds=120),))
+        daemon, server, _client = fleet(workers=1, fault_plan=plan)
+        config = RepairConfig.for_scenario("Q1", max_candidates=4)
+        session_id = daemon.submit(config, tenant="ops")
+        record = daemon.get(session_id)
+        deadline = time.monotonic() + 60
+        while record.state == "queued":
+            assert time.monotonic() < deadline, "session never dispatched"
+            time.sleep(0.01)
+        daemon.stop(grace=0.3)
+        assert record.state == "queued"
+        assert record.attempts == 0
+        assert record.events == []
+        with pytest.raises(ServiceError):
+            daemon.wait(session_id, timeout=1.0)
+
+    def test_draining_daemon_rejects_submissions(self, fleet):
+        daemon, _server, _client = fleet(workers=1, spawn_workers=False)
+        daemon.stop(grace=0.0)
+        with pytest.raises(ServiceUnavailable):
+            daemon.submit(RepairConfig.for_scenario("Q1"))
+
+    def test_stop_terminates_the_local_fleet(self, fleet):
+        daemon, _server, _client = fleet(workers=2)
+        deadline = time.monotonic() + 30
+        while daemon.status()["workers_connected"] < 2:
+            assert time.monotonic() < deadline, "fleet never connected"
+            time.sleep(0.05)
+        processes = list(daemon._processes)
+        daemon.stop(grace=1.0)
+        assert all(p.poll() is not None for p in processes)
+
+
+class TestWorkerSignals:
+    def test_idle_worker_exits_cleanly_on_sigterm(self):
+        # A worker blocked in recv between jobs must exit 0 on SIGTERM,
+        # not strand until the coordinator closes the socket.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.distrib.worker",
+             "--connect", f"{host}:{port}"], env=child_env())
+        try:
+            listener.settimeout(30)
+            sock, _addr = listener.accept()
+            hello = recv_frame(sock)
+            assert hello["type"] == "hello"
+            assert hello["pid"] == process.pid
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+            listener.close()
+
+    def test_spawn_children_survive_a_terminal_sigint(self):
+        # Regression: a terminal Ctrl-C delivers SIGINT to the whole
+        # process group; spawn children that died to it stranded the
+        # parent transport mid-job.  The children now ignore SIGINT —
+        # the parent owns pool shutdown.
+        from repro.distrib import SpawnTransport
+        transport = SpawnTransport(workers=1)
+        transport._ensure_started()
+        try:
+            child = transport._handles[0].process
+            deadline = time.monotonic() + 30
+            while not child.is_alive():
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            time.sleep(0.5)              # let the child install SIG_IGN
+            os.kill(child.pid, signal.SIGINT)
+            time.sleep(0.5)
+            assert child.is_alive(), "spawn child died to SIGINT"
+        finally:
+            transport.close(terminate=True)
+
+
+class TestServeProcess:
+    def test_repro_serve_drains_and_exits_zero_on_sigterm(self, tmp_path):
+        events_log = tmp_path / "events.jsonl"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "1",
+             "--events", str(events_log)],
+            env=child_env(), stdout=subprocess.PIPE, text=True)
+        try:
+            line = process.stdout.readline()
+            assert "repro serve: HTTP on http://" in line
+            url = line.split("HTTP on ", 1)[1].split()[0]
+
+            # One full session through the real HTTP front door, so the
+            # drain below also flushes a non-empty event log.
+            from repro.service import ServiceClient
+            client = ServiceClient(url)
+            ack = client.submit(
+                RepairConfig.for_scenario("Q1", max_candidates=4))
+            wire = client.wait(ack["id"], timeout=120)
+            assert wire["state"] == "done", wire.get("error")
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+            output = process.stdout.read()
+            assert "repro serve: draining" in output
+            assert "repro serve: stopped" in output
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+        # The --events JSONL log was flushed on shutdown and holds the
+        # session's full stream.
+        lines = [l for l in events_log.read_text().splitlines() if l.strip()]
+        assert any('"session_finished"' in l for l in lines)
+
+    def test_repro_serve_exits_zero_on_sigint(self):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "1"],
+            env=child_env(), stdout=subprocess.PIPE, text=True)
+        try:
+            line = process.stdout.readline()
+            assert "repro serve: HTTP on" in line
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
